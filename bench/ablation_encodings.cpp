@@ -1,0 +1,75 @@
+// Ablation C: exact-synthesis encodings.  The paper solves the synthesis
+// constraints as SMT over bit-vectors with Z3; this library implements both a
+// direct one-hot CNF encoding and the paper's bit-vector formulation
+// bit-blasted onto the same CDCL core.  The bench compares them on all
+// 3-variable NPN classes and a sample of 4-variable classes.
+
+#include "bench_util.hpp"
+#include "exact/exact_synthesis.hpp"
+#include "npn/npn.hpp"
+
+using namespace mighty;
+
+namespace {
+
+struct Totals {
+  double seconds = 0;
+  uint64_t conflicts = 0;
+  uint32_t gates = 0;
+};
+
+Totals run(const std::vector<tt::TruthTable>& functions, exact::EncoderKind kind) {
+  Totals totals;
+  for (const auto& f : functions) {
+    exact::SynthesisOptions options;
+    options.encoder = kind;
+    bench::Stopwatch sw;
+    const auto r = exact::synthesize_minimum_mig(f, options);
+    totals.seconds += sw.seconds();
+    if (r.status != exact::SynthesisStatus::success) {
+      printf("  synthesis failed for 0x%s!\n", f.to_hex().c_str());
+      continue;
+    }
+    for (const auto c : r.conflicts_per_step) totals.conflicts += c;
+    totals.gates += r.chain.size();
+  }
+  return totals;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  printf("Ablation: one-hot CNF vs. bit-blasted SMT(BV) exact synthesis\n\n");
+
+  const auto classes3 = npn::enumerate_classes(3);
+  std::vector<tt::TruthTable> sample4;
+  {
+    const auto classes4 = npn::enumerate_classes(4);
+    const size_t stride = full ? 1 : 16;
+    for (size_t i = 0; i < classes4.size(); i += stride) sample4.push_back(classes4[i]);
+  }
+
+  for (const auto& [name, functions] :
+       {std::pair<std::string, std::vector<tt::TruthTable>>{"all 14 3-var classes",
+                                                            classes3},
+        {full ? "all 222 4-var classes" : "14 sampled 4-var classes", sample4}}) {
+    printf("%s:\n", name.c_str());
+    printf("  %-18s %10s %12s %8s\n", "encoding", "time[s]", "conflicts", "gates");
+    const auto onehot = run(functions, exact::EncoderKind::onehot);
+    printf("  %-18s %10.2f %12lu %8u\n", "one-hot CNF", onehot.seconds,
+           static_cast<unsigned long>(onehot.conflicts), onehot.gates);
+    const auto smt = run(functions, exact::EncoderKind::smt);
+    printf("  %-18s %10.2f %12lu %8u\n", "SMT(BV) blasted", smt.seconds,
+           static_cast<unsigned long>(smt.conflicts), smt.gates);
+    if (onehot.gates != smt.gates) {
+      printf("  ENCODING DISAGREEMENT on total minimum gates!\n");
+      return 1;
+    }
+    printf("  encodings agree on every minimum (total %u gates)\n\n", onehot.gates);
+  }
+  printf("expected shape: identical optima; the one-hot encoding propagates\n"
+         "structure directly and is the faster of the two, which is why the\n"
+         "database builder uses it by default.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation D: iterated functional hashing.  The paper applies the algorithm
+// once and notes that "running it several times or combining it with other
+// optimization or reshaping algorithms will likely lead to further
+// improvements" (Sec. V-C).  This bench measures that: repeated passes of the
+// same variant, and alternating passes with the algebraic size optimization.
+
+#include "bench_util.hpp"
+#include "mig/algebra/algebra.hpp"
+#include "opt/rewrite.hpp"
+#include "suite_common.hpp"
+
+using namespace mighty;
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  printf("Ablation: iterating the functional-hashing pass\n\n");
+
+  const auto db = exact::Database::load_or_build(exact::default_database_path());
+  auto baseline = algebra::depth_optimize(
+      full ? gen::make_sqrt_n(64) : gen::make_sqrt_n(16));
+  printf("input: square-root, %u gates, depth %u\n\n", baseline.count_live_gates(),
+         baseline.depth());
+
+  for (const auto& variant : {"TF", "BF"}) {
+    printf("variant %s:\n", variant);
+    printf("  %5s | %8s %6s %8s\n", "pass", "size", "depth", "time[s]");
+    mig::Mig current = baseline;
+    uint32_t previous = current.count_live_gates();
+    for (int pass = 1; pass <= 5; ++pass) {
+      opt::RewriteStats stats;
+      current = opt::functional_hashing(current, db, opt::variant_params(variant),
+                                        &stats);
+      printf("  %5d | %8u %6u %8.2f\n", pass, stats.size_after, stats.depth_after,
+             stats.seconds);
+      if (stats.size_after == previous) {
+        printf("  fixpoint reached\n");
+        break;
+      }
+      previous = stats.size_after;
+    }
+    printf("\n");
+  }
+
+  printf("alternating BF with algebraic size optimization:\n");
+  printf("  %5s | %8s %6s\n", "round", "size", "depth");
+  mig::Mig current = baseline;
+  uint32_t previous = current.count_live_gates();
+  for (int round = 1; round <= 4; ++round) {
+    current = opt::functional_hashing(current, db, opt::variant_params("BF"));
+    current = algebra::size_optimize(current);
+    printf("  %5d | %8u %6u\n", round, current.count_live_gates(), current.depth());
+    if (current.count_live_gates() == previous) break;
+    previous = current.count_live_gates();
+  }
+  printf("\nexpected shape: most of the gain lands in pass 1; later passes add\n"
+         "diminishing returns, supporting the paper's single-pass protocol.\n");
+  return 0;
+}

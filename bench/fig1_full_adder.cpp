@@ -1,0 +1,48 @@
+// Reproduces Fig. 1 of the paper: the MIG of a full adder with size 3 and
+// depth 2, where the sum shares the carry node:
+//   cout = <a b cin>,  s = <!cout <a b !cin> cin>.
+
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "io/io.hpp"
+#include "mig/mig.hpp"
+#include "mig/simulation.hpp"
+
+using namespace mighty;
+
+int main() {
+  printf("Fig. 1: MIG for a full adder\n\n");
+
+  mig::Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  const auto cin = m.create_pi();
+  const auto cout = m.create_maj(a, b, cin);
+  const auto sum = m.create_xor3(a, b, cin);
+  m.create_po(sum);
+  m.create_po(cout);
+
+  printf("size  = %u (paper: 3)\n", m.count_live_gates());
+  printf("depth = %u (paper: 2)\n\n", m.depth());
+
+  // Verify a + b + cin = 2*cout + s over all assignments.
+  const auto tts = mig::output_truth_tables(m);
+  bool ok = true;
+  for (uint32_t assignment = 0; assignment < 8; ++assignment) {
+    const int inputs = __builtin_popcount(assignment);
+    const int outputs = (tts[1].get_bit(assignment) ? 2 : 0) +
+                        (tts[0].get_bit(assignment) ? 1 : 0);
+    if (inputs != outputs) ok = false;
+  }
+  printf("functional check (a+b+cin = 2*cout+s): %s\n\n", ok ? "pass" : "FAIL");
+
+  printf("structure (DOT):\n");
+  std::ostringstream dot;
+  io::write_dot(dot, m);
+  printf("%s\n", dot.str().c_str());
+
+  const bool match = m.count_live_gates() == 3 && m.depth() == 2 && ok;
+  printf("matches paper Fig. 1: %s\n", match ? "yes" : "NO");
+  return match ? 0 : 1;
+}

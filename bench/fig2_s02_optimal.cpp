@@ -1,0 +1,66 @@
+// Reproduces Fig. 2 of the paper: the optimal MIG for the symmetric function
+// S_{0,2}(x1,x2,x3,x4) -- the representative of the single most expensive NPN
+// class, requiring 7 majority nodes.
+//
+// S_{0,2} is true iff the input weight is 0 or 2; it is NPN-equivalent to
+// (x1 ^ x2 ^ x3 ^ x4) | (x1 x2 x3 x4).
+
+#include "bench_util.hpp"
+#include "exact/exact_synthesis.hpp"
+#include "npn/npn.hpp"
+#include "tt/truth_table.hpp"
+
+using namespace mighty;
+
+int main() {
+  printf("Fig. 2: optimal MIG for S_{0,2}(x1, x2, x3, x4)\n\n");
+
+  // Build S_{0,2}: bit set iff popcount(assignment) is 0 or 2.
+  tt::TruthTable s02(4);
+  for (uint32_t assignment = 0; assignment < 16; ++assignment) {
+    const int weight = __builtin_popcount(assignment);
+    s02.set_bit(assignment, weight == 0 || weight == 2);
+  }
+  printf("truth table: 0x%s\n", s02.to_hex().c_str());
+
+  // Sanity: NPN-equivalent to parity-or-all-ones as the paper states.
+  const auto x1 = tt::TruthTable::projection(4, 0);
+  const auto x2 = tt::TruthTable::projection(4, 1);
+  const auto x3 = tt::TruthTable::projection(4, 2);
+  const auto x4 = tt::TruthTable::projection(4, 3);
+  const auto alt = (x1 ^ x2 ^ x3 ^ x4) | (x1 & x2 & x3 & x4);
+  const bool same_class =
+      npn::canonize(s02).representative == npn::canonize(alt).representative;
+  printf("NPN-equivalent to (x1^x2^x3^x4) | x1x2x3x4: %s\n\n",
+         same_class ? "yes" : "NO");
+
+  bench::Stopwatch sw;
+  const auto result = exact::synthesize_minimum_mig(s02);
+  if (result.status != exact::SynthesisStatus::success) {
+    printf("synthesis failed\n");
+    return 1;
+  }
+  printf("exact synthesis: %u majority nodes in %.2fs (paper: 7 nodes)\n",
+         result.chain.size(), sw.seconds());
+  printf("depth: %u\n\n", result.chain.depth());
+
+  printf("chain (step = <f1 f2 f3>, refs: 0=const, 1..4=x1..x4, 5+=steps, ~=INV):\n");
+  for (uint32_t i = 0; i < result.chain.size(); ++i) {
+    const auto& step = result.chain.steps[i];
+    printf("  step %u = <", 5 + i);
+    for (int c = 0; c < 3; ++c) {
+      const auto l = step.fanin[static_cast<size_t>(c)];
+      printf("%s%u%s", exact::ref_complemented(l) ? "~" : "", exact::ref_of(l),
+             c < 2 ? " " : "");
+    }
+    printf(">\n");
+  }
+  printf("  output = %s%u\n\n", exact::ref_complemented(result.chain.output) ? "~" : "",
+         exact::ref_of(result.chain.output));
+
+  const bool verified = result.chain.simulate() == s02;
+  printf("chain verifies: %s\n", verified ? "yes" : "NO");
+  const bool match = result.chain.size() == 7 && verified && same_class;
+  printf("matches paper Fig. 2 / Table I: %s\n", match ? "yes" : "NO");
+  return match ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/arith.hpp"
+#include "mig/algebra/algebra.hpp"
+
+/// Shared pipeline of the Table III / Table IV benches: generate the eight
+/// arithmetic circuits and produce the "heavily optimized" starting points by
+/// algebraic depth optimization, mirroring the paper's setting ("Most of the
+/// best results were obtained using the depth reduction proposed in [3] and
+/// [4]").
+
+namespace mighty::bench {
+
+struct PreparedBenchmark {
+  std::string name;
+  mig::Mig baseline;  ///< depth-optimized starting point for the optimizers
+};
+
+inline std::vector<PreparedBenchmark> prepare_suite(bool small) {
+  std::vector<std::pair<std::string, mig::Mig>> raw;
+  if (small) {
+    raw.emplace_back("Adder", gen::make_adder_n(32));
+    raw.emplace_back("Divisor", gen::make_divisor_n(16));
+    raw.emplace_back("Log2", gen::make_log2_n(8));
+    raw.emplace_back("Max", gen::make_max_n(32));
+    raw.emplace_back("Multiplier", gen::make_multiplier_n(16));
+    raw.emplace_back("Sine", gen::make_sine_n(12));
+    raw.emplace_back("Square-root", gen::make_sqrt_n(16));
+    raw.emplace_back("Square", gen::make_square_n(24));
+  } else {
+    for (auto& b : gen::epfl_arithmetic_suite()) {
+      raw.emplace_back(b.name, std::move(b.mig));
+    }
+  }
+  std::vector<PreparedBenchmark> prepared;
+  for (auto& [name, m] : raw) {
+    PreparedBenchmark p;
+    p.name = name;
+    p.baseline = algebra::depth_optimize(m);
+    prepared.push_back(std::move(p));
+  }
+  return prepared;
+}
+
+}  // namespace mighty::bench

@@ -1,0 +1,55 @@
+// Reproduces Theorem 2 of the paper: for n >= 4 the majority/inverter
+// combinational complexity obeys C(n) <= 10*(2^(n-4)-1)+7.  The proof's
+// Shannon construction f = <1 <0 !x f0> <0 x f1>> is executed on random
+// functions of 5 and 6 variables (bottoming out at the exhaustive 4-variable
+// database) and the measured sizes are checked against the bound.
+
+#include <random>
+
+#include "bench_util.hpp"
+#include "exact/bounds.hpp"
+
+using namespace mighty;
+
+int main() {
+  printf("Theorem 2: C(n) <= 10*(2^(n-4)-1)+7\n\n");
+  printf("%3s %12s\n", "n", "bound");
+  bench::print_rule(16);
+  for (uint32_t n = 4; n <= 10; ++n) {
+    printf("%3u %12lu\n", n, static_cast<unsigned long>(exact::theorem2_bound(n)));
+  }
+
+  const auto db = exact::Database::load_or_build(exact::default_database_path());
+  std::mt19937_64 rng(2016);
+
+  printf("\nconstructive witness (Shannon expansion to the 4-var database):\n");
+  printf("%3s %8s | %10s %10s %10s | %s\n", "n", "samples", "max size", "avg size",
+         "bound", "within");
+  bench::print_rule(64);
+  bool all_ok = true;
+  for (uint32_t n = 4; n <= 6; ++n) {
+    const int samples = n == 4 ? 500 : (n == 5 ? 200 : 50);
+    uint32_t max_size = 0;
+    uint64_t total = 0;
+    for (int i = 0; i < samples; ++i) {
+      const tt::TruthTable f(n, (static_cast<uint64_t>(rng()) << 32) | rng());
+      const uint32_t size = exact::shannon_size(db, f);
+      max_size = std::max(max_size, size);
+      total += size;
+      if (size > exact::theorem2_bound(n)) all_ok = false;
+    }
+    printf("%3u %8d | %10u %10.1f %10lu | %s\n", n, samples, max_size,
+           static_cast<double>(total) / samples,
+           static_cast<unsigned long>(exact::theorem2_bound(n)),
+           max_size <= exact::theorem2_bound(n) ? "yes" : "NO");
+  }
+
+  printf("\nbase case: the exhaustive database's worst class has 7 gates "
+         "(= bound for n = 4)\n");
+  uint32_t worst = 0;
+  for (const auto& entry : db.entries()) worst = std::max(worst, entry.chain.size());
+  printf("measured worst class size: %u\n", worst);
+  all_ok = all_ok && worst == 7;
+  printf("\nTheorem 2 holds on all samples: %s\n", all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

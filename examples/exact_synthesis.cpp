@@ -1,0 +1,84 @@
+// Exact synthesis from the command line: find a size-minimum and a
+// depth-minimum MIG for a given truth table.
+//
+//   $ ./build/examples/exact_synthesis 3 e8        # <x1 x2 x3>
+//   $ ./build/examples/exact_synthesis 4 6996      # 4-input parity
+//   $ ./build/examples/exact_synthesis 4 1ee1 --smt # use the SMT-BV encoder
+//
+// The first argument is the number of variables (up to 4 for quick results,
+// more is possible but slow), the second the truth table in hex (LSB =
+// function value at the all-zero assignment).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "exact/exact_synthesis.hpp"
+
+using namespace mighty;
+
+namespace {
+
+void print_chain(const exact::MigChain& chain) {
+  if (chain.steps.empty()) {
+    printf("  trivial: output = %s%u (0 = const0, 1.. = inputs)\n",
+           exact::ref_complemented(chain.output) ? "~" : "",
+           exact::ref_of(chain.output));
+    return;
+  }
+  for (uint32_t i = 0; i < chain.size(); ++i) {
+    const auto& step = chain.steps[i];
+    printf("  %2u := <", chain.num_vars + 1 + i);
+    for (int c = 0; c < 3; ++c) {
+      const auto l = step.fanin[static_cast<size_t>(c)];
+      printf("%s%u%s", exact::ref_complemented(l) ? "~" : "", exact::ref_of(l),
+             c < 2 ? " " : "");
+    }
+    printf(">\n");
+  }
+  printf("  out = %s%u\n", exact::ref_complemented(chain.output) ? "~" : "",
+         exact::ref_of(chain.output));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    fprintf(stderr, "usage: %s <num_vars> <hex_truth_table> [--smt]\n", argv[0]);
+    return 2;
+  }
+  const auto num_vars = static_cast<uint32_t>(std::stoul(argv[1]));
+  if (num_vars > 6) {
+    fprintf(stderr, "at most 6 variables supported\n");
+    return 2;
+  }
+  const auto f = tt::TruthTable::from_hex(num_vars, argv[2]);
+  printf("function: 0x%s over %u variables\n\n", f.to_hex().c_str(), num_vars);
+
+  exact::SynthesisOptions options;
+  if (argc > 3 && std::strcmp(argv[3], "--smt") == 0) {
+    options.encoder = exact::EncoderKind::smt;
+    printf("encoder: SMT bit-vector formulation (bit-blasted)\n");
+  } else {
+    printf("encoder: one-hot CNF\n");
+  }
+
+  const auto size_result = exact::synthesize_minimum_mig(f, options);
+  if (size_result.status != exact::SynthesisStatus::success) {
+    printf("size-minimum synthesis did not complete\n");
+    return 1;
+  }
+  printf("\nminimum size: %u majority gates (depth %u)\n", size_result.chain.size(),
+         size_result.chain.depth());
+  print_chain(size_result.chain);
+
+  if (num_vars <= 4) {
+    const auto depth_result = exact::synthesize_minimum_depth_mig(f);
+    if (depth_result.status == exact::SynthesisStatus::success) {
+      printf("\nminimum depth: %u levels (%u gates as a tree)\n", depth_result.depth,
+             depth_result.chain.size());
+      print_chain(depth_result.chain);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,222 @@
+// An interactive (or scripted) mini-shell over the library, in the spirit of
+// ABC / CirKit: load a network, optimize, map, verify, export.
+//
+//   $ ./build/examples/mighty_shell
+//   mighty> gen multiplier 16
+//   mighty> depth_opt
+//   mighty> fh BF
+//   mighty> map
+//   mighty> cec
+//   mighty> write_blif /tmp/out.blif
+//
+// Or non-interactively:  echo "gen adder 32; fh TF; ps" | ./build/examples/mighty_shell
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cec/cec.hpp"
+#include "exact/database.hpp"
+#include "gen/arith.hpp"
+#include "io/io.hpp"
+#include "map/lut_mapper.hpp"
+#include "mig/algebra/algebra.hpp"
+#include "mig/mig.hpp"
+#include "opt/rewrite.hpp"
+
+using namespace mighty;
+
+namespace {
+
+struct Shell {
+  std::optional<mig::Mig> current;
+  std::optional<mig::Mig> original;  ///< snapshot for cec
+  std::optional<exact::Database> db;
+
+  const exact::Database& database() {
+    if (!db) db = exact::Database::load_or_build(exact::default_database_path());
+    return *db;
+  }
+
+  bool require_network() {
+    if (!current) {
+      printf("no network loaded; use `gen` or `read_blif`\n");
+      return false;
+    }
+    return true;
+  }
+
+  void print_stats(const char* tag) {
+    printf("%s: pis=%u pos=%u gates=%u depth=%u\n", tag, current->num_pis(),
+           current->num_pos(), current->count_live_gates(), current->depth());
+  }
+
+  void command(const std::string& line);
+};
+
+void Shell::command(const std::string& line) {
+  std::istringstream is(line);
+  std::string cmd;
+  if (!(is >> cmd)) return;
+
+  if (cmd == "help") {
+    printf(
+        "commands:\n"
+        "  gen <adder|divisor|log2|max|multiplier|sine|sqrt|square> [width]\n"
+        "  read_blif <path> | write_blif <path> | write_verilog <path> | "
+        "write_dot <path>\n"
+        "  ps                    network statistics\n"
+        "  depth_opt | size_opt  algebraic optimization (refs. [3], [4])\n"
+        "  fh [variant]          functional hashing (default BF; T/TD/TF/TFD/B/...)\n"
+        "  map [k]               k-LUT mapping (default 6)\n"
+        "  cec                   SAT equivalence vs. the originally loaded network\n"
+        "  snapshot              make the current network the cec reference\n"
+        "  quit\n");
+    return;
+  }
+  if (cmd == "gen") {
+    std::string kind;
+    uint32_t width = 0;
+    is >> kind >> width;
+    if (kind == "adder") {
+      current = width ? gen::make_adder_n(width) : gen::make_adder();
+    } else if (kind == "divisor") {
+      current = width ? gen::make_divisor_n(width) : gen::make_divisor();
+    } else if (kind == "log2") {
+      current = width ? gen::make_log2_n(width) : gen::make_log2();
+    } else if (kind == "max") {
+      current = width ? gen::make_max_n(width) : gen::make_max();
+    } else if (kind == "multiplier") {
+      current = width ? gen::make_multiplier_n(width) : gen::make_multiplier();
+    } else if (kind == "sine") {
+      current = width ? gen::make_sine_n(width) : gen::make_sine();
+    } else if (kind == "sqrt") {
+      current = width ? gen::make_sqrt_n(width) : gen::make_sqrt();
+    } else if (kind == "square") {
+      current = width ? gen::make_square_n(width) : gen::make_square();
+    } else {
+      printf("unknown generator '%s'\n", kind.c_str());
+      return;
+    }
+    original = current;
+    print_stats("generated");
+    return;
+  }
+  if (cmd == "read_blif") {
+    std::string path;
+    is >> path;
+    try {
+      current = io::read_blif_file(path);
+      original = current;
+      print_stats("loaded");
+    } catch (const std::exception& e) {
+      printf("error: %s\n", e.what());
+    }
+    return;
+  }
+  if (!require_network()) return;
+
+  if (cmd == "ps") {
+    print_stats("network");
+  } else if (cmd == "depth_opt") {
+    algebra::AlgebraStats stats;
+    current = algebra::depth_optimize(*current, {}, &stats);
+    printf("depth %u -> %u, size %u -> %u\n", stats.depth_before, stats.depth_after,
+           stats.size_before, stats.size_after);
+  } else if (cmd == "size_opt") {
+    algebra::AlgebraStats stats;
+    current = algebra::size_optimize(*current, {}, &stats);
+    printf("size %u -> %u, depth %u -> %u\n", stats.size_before, stats.size_after,
+           stats.depth_before, stats.depth_after);
+  } else if (cmd == "fh") {
+    std::string variant = "BF";
+    is >> variant;
+    try {
+      opt::RewriteStats stats;
+      current = opt::functional_hashing(*current, database(),
+                                        opt::variant_params(variant), &stats);
+      printf("%s: size %u -> %u, depth %u -> %u (%.2fs, %lu replacements)\n",
+             variant.c_str(), stats.size_before, stats.size_after, stats.depth_before,
+             stats.depth_after, stats.seconds,
+             static_cast<unsigned long>(stats.replacements));
+    } catch (const std::exception& e) {
+      printf("error: %s\n", e.what());
+    }
+  } else if (cmd == "map") {
+    uint32_t k = 6;
+    is >> k;
+    map::MapParams params;
+    params.lut_size = k;
+    const auto result = map::map_luts(*current, params);
+    printf("mapping: %u LUT%u, depth %u\n", result.num_luts, k, result.depth);
+  } else if (cmd == "cec") {
+    if (!original) {
+      printf("no reference network\n");
+      return;
+    }
+    const auto r = cec::check_equivalence(*original, *current);
+    switch (r.status) {
+      case cec::CecStatus::equivalent:
+        printf("equivalent (SAT proof)\n");
+        break;
+      case cec::CecStatus::not_equivalent:
+        printf("NOT equivalent!\n");
+        break;
+      case cec::CecStatus::unknown:
+        printf("unknown (budget exhausted)\n");
+        break;
+    }
+  } else if (cmd == "snapshot") {
+    original = current;
+    printf("reference updated\n");
+  } else if (cmd == "write_blif") {
+    std::string path;
+    is >> path;
+    io::write_blif_file(path, *current);
+    printf("written %s\n", path.c_str());
+  } else if (cmd == "write_verilog") {
+    std::string path;
+    is >> path;
+    std::ofstream os(path);
+    io::write_verilog(os, *current);
+    printf("written %s\n", path.c_str());
+  } else if (cmd == "write_dot") {
+    std::string path;
+    is >> path;
+    std::ofstream os(path);
+    io::write_dot(os, *current);
+    printf("written %s\n", path.c_str());
+  } else {
+    printf("unknown command '%s' (try `help`)\n", cmd.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  const bool interactive = isatty(0);
+  if (interactive) printf("mighty shell -- `help` for commands\n");
+  std::string line;
+  while (true) {
+    if (interactive) {
+      printf("mighty> ");
+      fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    // Allow ;-separated command sequences.
+    std::istringstream split(line);
+    std::string part;
+    while (std::getline(split, part, ';')) {
+      if (part == "quit" || part == "exit") return 0;
+      shell.command(part);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Explore the NPN classification and the precomputed-optimum database:
+// canonize a function, show its class representative, the minimum MIG from
+// the database, and how the stored structure is instantiated through the
+// transform.
+//
+//   $ ./build/examples/npn_database_explorer          # overview of all classes
+//   $ ./build/examples/npn_database_explorer cafe     # inspect one function
+
+#include <cstdio>
+#include <map>
+
+#include "exact/database.hpp"
+#include "mig/simulation.hpp"
+#include "npn/npn.hpp"
+
+using namespace mighty;
+
+int main(int argc, char** argv) {
+  const auto db = exact::Database::load_or_build(exact::default_database_path());
+
+  if (argc > 1) {
+    const auto f = tt::TruthTable::from_hex(4, argv[1]);
+    printf("function        : 0x%s\n", f.to_hex().c_str());
+    const auto canon = npn::canonize(f);
+    printf("NPN rep         : 0x%s\n", canon.representative.to_hex().c_str());
+    printf("transform       : perm=(%u %u %u %u) input_neg=0x%x output_neg=%d\n",
+           canon.transform.perm[0], canon.transform.perm[1], canon.transform.perm[2],
+           canon.transform.perm[3], canon.transform.input_negations,
+           canon.transform.output_negation);
+    printf("orbit size      : %lu functions\n",
+           static_cast<unsigned long>(npn::orbit_size(canon.representative)));
+
+    const auto lookup = db.lookup(f);
+    printf("minimum MIG size: %u gates, depth %u\n", lookup.entry->chain.size(),
+           lookup.entry->chain.depth());
+
+    mig::Mig m;
+    const auto pis = m.create_pis(4);
+    m.create_po(db.instantiate(f, m, pis));
+    const bool ok = mig::output_truth_tables(m)[0] == f;
+    printf("instantiation   : %u gates after strashing, %s\n", m.count_live_gates(),
+           ok ? "verified" : "MISMATCH");
+    return ok ? 0 : 1;
+  }
+
+  printf("NPN classes of 4-variable functions and their minimum MIGs\n\n");
+  std::map<uint32_t, std::pair<uint32_t, uint64_t>> by_size;  // size -> classes, funcs
+  for (const auto& entry : db.entries()) {
+    auto& [classes, functions] = by_size[entry.chain.size()];
+    ++classes;
+    functions += npn::orbit_size(entry.representative);
+  }
+  printf("%-6s %8s %10s\n", "gates", "classes", "functions");
+  for (const auto& [size, counts] : by_size) {
+    printf("%-6u %8u %10lu\n", size, counts.first,
+           static_cast<unsigned long>(counts.second));
+  }
+  printf("\nlargest class representatives per size:\n");
+  for (const auto& entry : db.entries()) {
+    if (entry.chain.size() >= 7) {
+      printf("  0x%s needs %u gates (the hardest class, S_{0,2}; paper Fig. 2)\n",
+             entry.representative.to_hex().c_str(), entry.chain.size());
+    }
+  }
+  printf("\nrun with a hex truth table argument to inspect a single function\n");
+  return 0;
+}

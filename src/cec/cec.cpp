@@ -1,0 +1,149 @@
+#include "cec/cec.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "mig/simulation.hpp"
+
+namespace mighty::cec {
+
+using sat::Lit;
+using sat::negate;
+
+bool random_simulation_equal(const mig::Mig& a, const mig::Mig& b, uint32_t rounds,
+                             uint64_t seed) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) return false;
+  std::mt19937_64 rng(seed);
+  for (uint32_t r = 0; r < rounds; ++r) {
+    std::vector<uint64_t> words(a.num_pis());
+    for (auto& w : words) w = rng();
+    if (r == 0) {
+      // Include the all-zero and all-one corner patterns in the first round.
+      if (!words.empty()) {
+        words[0] = 0x00000000ffffffffull;
+      }
+    }
+    const auto wa = mig::simulate_words(a, words);
+    const auto wb = mig::simulate_words(b, words);
+    for (uint32_t o = 0; o < a.num_pos(); ++o) {
+      if (mig::resolve(wa, a.output(o)) != mig::resolve(wb, b.output(o))) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Lit> encode_mig(const mig::Mig& mig, sat::Solver& solver,
+                            const std::vector<Lit>* pi_literals) {
+  std::vector<Lit> node_lit(mig.num_nodes());
+  const sat::Var const_var = solver.new_var();
+  solver.add_clause({sat::lit(const_var, true)});  // constant node is false
+  node_lit[mig::Mig::constant_node] = sat::lit(const_var);
+
+  for (uint32_t i = 0; i < mig.num_pis(); ++i) {
+    if (pi_literals != nullptr) {
+      node_lit[1 + i] = (*pi_literals)[i];
+    } else {
+      node_lit[1 + i] = sat::lit(solver.new_var());
+    }
+  }
+  for (uint32_t n = 0; n < mig.num_nodes(); ++n) {
+    if (!mig.is_gate(n)) continue;
+    const auto& f = mig.fanins(n);
+    auto in = [&](int c) {
+      const Lit l = node_lit[f[static_cast<size_t>(c)].index()];
+      return f[static_cast<size_t>(c)].is_complemented() ? negate(l) : l;
+    };
+    const Lit a = in(0), b = in(1), c = in(2);
+    const Lit y = sat::lit(solver.new_var());
+    solver.add_clause({negate(a), negate(b), y});
+    solver.add_clause({negate(a), negate(c), y});
+    solver.add_clause({negate(b), negate(c), y});
+    solver.add_clause({a, b, negate(y)});
+    solver.add_clause({a, c, negate(y)});
+    solver.add_clause({b, c, negate(y)});
+    node_lit[n] = y;
+  }
+  return node_lit;
+}
+
+CecResult check_equivalence(const mig::Mig& a, const mig::Mig& b,
+                            const CecOptions& options) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
+    throw std::invalid_argument("CEC requires matching interfaces");
+  }
+  CecResult result;
+
+  if (!random_simulation_equal(a, b, options.random_rounds, options.seed)) {
+    result.status = CecStatus::not_equivalent;
+    // Recover a concrete counterexample bit by re-simulating.
+    std::mt19937_64 rng(options.seed);
+    for (uint32_t r = 0; r < options.random_rounds; ++r) {
+      std::vector<uint64_t> words(a.num_pis());
+      for (auto& w : words) w = rng();
+      if (r == 0 && !words.empty()) words[0] = 0x00000000ffffffffull;
+      const auto wa = mig::simulate_words(a, words);
+      const auto wb = mig::simulate_words(b, words);
+      for (uint32_t o = 0; o < a.num_pos(); ++o) {
+        const uint64_t diff =
+            mig::resolve(wa, a.output(o)) ^ mig::resolve(wb, b.output(o));
+        if (diff != 0) {
+          const int bit = __builtin_ctzll(diff);
+          result.counterexample.resize(a.num_pis());
+          for (uint32_t i = 0; i < a.num_pis(); ++i) {
+            result.counterexample[i] = ((words[i] >> bit) & 1) != 0;
+          }
+          return result;
+        }
+      }
+    }
+    return result;
+  }
+  if (options.simulation_only) {
+    result.status = CecStatus::unknown;
+    return result;
+  }
+
+  // SAT miter: shared PI variables, outputs must differ somewhere.
+  sat::Solver solver;
+  std::vector<Lit> pis;
+  for (uint32_t i = 0; i < a.num_pis(); ++i) pis.push_back(sat::lit(solver.new_var()));
+  const auto la = encode_mig(a, solver, &pis);
+  const auto lb = encode_mig(b, solver, &pis);
+
+  std::vector<Lit> any_diff;
+  for (uint32_t o = 0; o < a.num_pos(); ++o) {
+    const Lit oa = a.output(o).is_complemented() ? negate(la[a.output(o).index()])
+                                                 : la[a.output(o).index()];
+    const Lit ob = b.output(o).is_complemented() ? negate(lb[b.output(o).index()])
+                                                 : lb[b.output(o).index()];
+    // diff <-> oa xor ob
+    const Lit diff = sat::lit(solver.new_var());
+    solver.add_clause({negate(diff), oa, ob});
+    solver.add_clause({negate(diff), negate(oa), negate(ob)});
+    solver.add_clause({diff, negate(oa), ob});
+    solver.add_clause({diff, oa, negate(ob)});
+    any_diff.push_back(diff);
+  }
+  solver.add_clause(any_diff);
+
+  const sat::Result r = solver.solve({}, options.conflict_limit);
+  switch (r) {
+    case sat::Result::unsat:
+      result.status = CecStatus::equivalent;
+      break;
+    case sat::Result::sat: {
+      result.status = CecStatus::not_equivalent;
+      result.counterexample.resize(a.num_pis());
+      for (uint32_t i = 0; i < a.num_pis(); ++i) {
+        result.counterexample[i] = solver.model_value_lit(pis[i]);
+      }
+      break;
+    }
+    case sat::Result::unknown:
+      result.status = CecStatus::unknown;
+      break;
+  }
+  return result;
+}
+
+}  // namespace mighty::cec

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mig/mig.hpp"
+#include "sat/solver.hpp"
+
+/// \file cec.hpp
+/// \brief Combinational equivalence checking of MIGs.
+///
+/// Used throughout the test suite and the benchmark harness to prove that the
+/// optimization passes preserve functionality: first fast random word
+/// simulation as a filter, then a complete SAT check on the miter.
+
+namespace mighty::cec {
+
+struct CecOptions {
+  /// Rounds of 64-pattern random simulation before the SAT proof.
+  uint32_t random_rounds = 16;
+  uint64_t seed = 0x5eed;
+  /// Conflict budget for the SAT proof; -1 = unlimited.
+  int64_t conflict_limit = -1;
+  /// Skip the SAT proof (simulation only; sound for "not equivalent" answers,
+  /// incomplete for "equivalent").
+  bool simulation_only = false;
+};
+
+enum class CecStatus {
+  equivalent,      ///< proven equivalent (SAT UNSAT result)
+  not_equivalent,  ///< counterexample found
+  unknown,         ///< budget exhausted or simulation-only pass succeeded
+};
+
+struct CecResult {
+  CecStatus status = CecStatus::unknown;
+  /// PI assignment distinguishing the networks when not_equivalent.
+  std::vector<bool> counterexample;
+};
+
+/// Returns false iff some random pattern distinguishes the two networks.
+bool random_simulation_equal(const mig::Mig& a, const mig::Mig& b, uint32_t rounds,
+                             uint64_t seed);
+
+/// Full check; networks must agree on PI and PO counts.
+CecResult check_equivalence(const mig::Mig& a, const mig::Mig& b,
+                            const CecOptions& options = {});
+
+/// Encodes the network into the solver with one variable per node (Tseitin);
+/// returns the literal of every node, with PIs bound to `pi_literals` when
+/// given (otherwise fresh).
+std::vector<sat::Lit> encode_mig(const mig::Mig& mig, sat::Solver& solver,
+                                 const std::vector<sat::Lit>* pi_literals = nullptr);
+
+}  // namespace mighty::cec

@@ -1,0 +1,89 @@
+#include "exact/chain.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace mighty::exact {
+
+tt::TruthTable MigChain::simulate() const {
+  const uint32_t n = num_vars;
+  std::vector<tt::TruthTable> values;
+  values.reserve(1 + n + steps.size());
+  values.push_back(tt::TruthTable::constant(n, false));
+  for (uint32_t v = 0; v < n; ++v) values.push_back(tt::TruthTable::projection(n, v));
+  auto value_of = [&](RefLit l) {
+    const auto& t = values[ref_of(l)];
+    return ref_complemented(l) ? ~t : t;
+  };
+  for (const Step& s : steps) {
+    for (const RefLit l : s.fanin) {
+      assert(ref_of(l) < values.size());
+    }
+    values.push_back(
+        tt::TruthTable::maj(value_of(s.fanin[0]), value_of(s.fanin[1]), value_of(s.fanin[2])));
+  }
+  return value_of(output);
+}
+
+std::vector<uint32_t> MigChain::step_levels() const {
+  std::vector<uint32_t> level(1 + num_vars + steps.size(), 0);
+  for (uint32_t m = 0; m < steps.size(); ++m) {
+    uint32_t max_level = 0;
+    for (const RefLit l : steps[m].fanin) {
+      max_level = std::max(max_level, level[ref_of(l)]);
+    }
+    level[1 + num_vars + m] = max_level + 1;
+  }
+  return level;
+}
+
+uint32_t MigChain::depth() const { return step_levels()[ref_of(output)]; }
+
+mig::Signal MigChain::instantiate(mig::Mig& mig,
+                                  const std::vector<mig::Signal>& inputs) const {
+  assert(inputs.size() >= num_vars);
+  std::vector<mig::Signal> values;
+  values.reserve(1 + num_vars + steps.size());
+  values.push_back(mig.get_constant(false));
+  for (uint32_t v = 0; v < num_vars; ++v) values.push_back(inputs[v]);
+  auto value_of = [&](RefLit l) { return values[ref_of(l)] ^ ref_complemented(l); };
+  for (const Step& s : steps) {
+    values.push_back(
+        mig.create_maj(value_of(s.fanin[0]), value_of(s.fanin[1]), value_of(s.fanin[2])));
+  }
+  return value_of(output);
+}
+
+std::string MigChain::to_string() const {
+  std::ostringstream os;
+  os << num_vars << ' ' << steps.size() << ' ' << output;
+  for (const Step& s : steps) {
+    os << ' ' << s.fanin[0] << ' ' << s.fanin[1] << ' ' << s.fanin[2];
+  }
+  return os.str();
+}
+
+MigChain MigChain::from_string(const std::string& line) {
+  std::istringstream is(line);
+  MigChain chain;
+  size_t num_steps = 0;
+  uint32_t output = 0;
+  if (!(is >> chain.num_vars >> num_steps >> output)) {
+    throw std::runtime_error("malformed chain line: " + line);
+  }
+  chain.output = static_cast<RefLit>(output);
+  for (size_t m = 0; m < num_steps; ++m) {
+    Step s;
+    uint32_t f0 = 0, f1 = 0, f2 = 0;
+    if (!(is >> f0 >> f1 >> f2)) {
+      throw std::runtime_error("truncated chain line: " + line);
+    }
+    s.fanin = {static_cast<RefLit>(f0), static_cast<RefLit>(f1), static_cast<RefLit>(f2)};
+    chain.steps.push_back(s);
+  }
+  return chain;
+}
+
+}  // namespace mighty::exact

@@ -1,0 +1,133 @@
+#include "exact/database.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mighty::exact {
+
+Database Database::build(const SynthesisOptions& options) {
+  Database db;
+  const auto classes = npn::enumerate_classes(4);
+  for (const auto& rep : classes) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = synthesize_minimum_mig(rep, options);
+    if (result.status != SynthesisStatus::success) {
+      throw std::runtime_error("database build failed for class 0x" + rep.to_hex());
+    }
+    DatabaseEntry entry;
+    entry.representative = rep;
+    entry.chain = result.chain;
+    for (const uint64_t c : result.conflicts_per_step) entry.conflicts += c;
+    entry.build_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    db.index_.emplace(rep.bits(), db.entries_.size());
+    db.entries_.push_back(std::move(entry));
+  }
+  return db;
+}
+
+void Database::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write database file " + path);
+  os << "mighty-mig-npn4-db v1 " << entries_.size() << '\n';
+  for (const auto& entry : entries_) {
+    os << entry.representative.to_hex() << ' ' << entry.conflicts << ' '
+       << entry.build_seconds << ' ' << entry.chain.to_string() << '\n';
+  }
+}
+
+std::optional<Database> Database::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::string header;
+  std::getline(is, header);
+  std::istringstream hs(header);
+  std::string magic, version;
+  size_t count = 0;
+  if (!(hs >> magic >> version >> count) || magic != "mighty-mig-npn4-db" ||
+      version != "v1") {
+    return std::nullopt;
+  }
+  Database db;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string hex;
+    DatabaseEntry entry;
+    if (!(ls >> hex >> entry.conflicts >> entry.build_seconds)) return std::nullopt;
+    entry.representative = tt::TruthTable::from_hex(4, hex);
+    std::string rest;
+    std::getline(ls, rest);
+    try {
+      entry.chain = MigChain::from_string(rest);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    // Consistency check: the stored chain must realize the representative.
+    if (entry.chain.simulate() != entry.representative) return std::nullopt;
+    db.index_.emplace(entry.representative.bits(), db.entries_.size());
+    db.entries_.push_back(std::move(entry));
+  }
+  if (db.entries_.size() != count) return std::nullopt;
+  return db;
+}
+
+Database Database::load_or_build(const std::string& path, const SynthesisOptions& options) {
+  if (auto db = load(path)) return std::move(*db);
+  Database db = build(options);
+  db.save(path);
+  return db;
+}
+
+Database::LookupResult Database::lookup(const tt::TruthTable& f) const {
+  const auto f4 = f.num_vars() < 4 ? f.extend(4) : f;
+  if (f4.num_vars() != 4) {
+    throw std::invalid_argument("database lookup requires at most 4 variables");
+  }
+  if (const auto cached = lookup_cache_.find(f4.bits()); cached != lookup_cache_.end()) {
+    return cached->second;
+  }
+  auto canon = npn::canonize(f4);
+  const auto it = index_.find(canon.representative.bits());
+  if (it == index_.end()) {
+    throw std::logic_error("NPN class missing from database");  // cannot happen when complete
+  }
+  const LookupResult result{&entries_[it->second], canon.transform};
+  lookup_cache_.emplace(f4.bits(), result);
+  return result;
+}
+
+mig::Signal Database::instantiate(const tt::TruthTable& f, mig::Mig& mig,
+                                  const std::vector<mig::Signal>& leaves) const {
+  const auto result = lookup(f);
+  const auto inv = npn::inverse(result.transform);
+
+  // f == apply(rep, inv): variable i of the representative is driven by leaf
+  // inv.perm[i], complemented per inv's negation mask; the output picks up
+  // inv's output negation.
+  std::vector<mig::Signal> inputs(4, mig.get_constant(false));
+  for (uint32_t i = 0; i < 4; ++i) {
+    const uint32_t leaf = inv.perm[i];
+    const mig::Signal base =
+        leaf < leaves.size() ? leaves[leaf] : mig.get_constant(false);
+    inputs[i] = base ^ (((inv.input_negations >> i) & 1) != 0);
+  }
+  return result.entry->chain.instantiate(mig, inputs) ^ inv.output_negation;
+}
+
+std::vector<uint32_t> Database::size_histogram() const {
+  std::vector<uint32_t> histogram;
+  for (const auto& entry : entries_) {
+    const uint32_t size = entry.chain.size();
+    if (histogram.size() <= size) histogram.resize(size + 1, 0);
+    ++histogram[size];
+  }
+  return histogram;
+}
+
+std::string default_database_path() { return "data/mig_npn4.db"; }
+
+}  // namespace mighty::exact

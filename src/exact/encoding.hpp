@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "exact/chain.hpp"
+#include "sat/solver.hpp"
+#include "tt/truth_table.hpp"
+
+/// \file encoding.hpp
+/// \brief Common interface of the exact-synthesis decision-problem encoders.
+///
+/// Both encoders express the question "is there an MIG with k majority gates
+/// computing f?" (paper Sec. III, constraints (4)-(10)):
+///
+///  * `OnehotEncoder` blasts the select variables one-hot, directly as CNF.
+///  * `SmtEncoder` builds the paper's bit-vector formulation on the
+///    `smt::Context` layer, which then bit-blasts onto the same SAT core --
+///    the pipeline Z3 applies internally for QF_BV.
+///
+/// The output-polarity variable p of the paper is omitted: by self-duality
+/// <x1 x2 x3> = !<!x1 !x2 !x3>, the complement of a function has an MIG of the
+/// same size, obtained by complementing the root's fanins (the paper makes
+/// the same observation).
+
+namespace mighty::exact {
+
+struct EncodeOptions {
+  /// Enforce s1 < s2 < s3 (paper eq. (10)); also rules out duplicate operands.
+  bool operand_ordering = true;
+  /// Every non-root gate must be referenced by a later gate.
+  bool all_gates_used = true;
+  /// For consecutive gates where the later one does not reference the
+  /// earlier, require the largest operands to be non-decreasing (a relaxation
+  /// of the colexicographic step ordering used in SAT-based exact synthesis;
+  /// sound because adjacent independent steps can always be swapped into
+  /// order).
+  bool step_ordering = true;
+  /// Every variable in the functional support must be selected by some gate.
+  bool support_usage = true;
+  /// Restrict every non-root gate to at most one complemented fanin.  Sound
+  /// by self-duality: <!x !y !z> = !<xyz>, so a gate with two or more
+  /// complemented fanins can be flipped, toggling the polarity of its fanout
+  /// edges; the root absorbs the final complement in its own fanin
+  /// polarities.
+  bool polarity_normalization = true;
+};
+
+class Encoder {
+public:
+  virtual ~Encoder() = default;
+  /// Emits all clauses into the solver.
+  virtual void encode() = 0;
+  /// Reads the chain out of the solver model (only after Result::sat).
+  virtual MigChain extract() const = 0;
+};
+
+}  // namespace mighty::exact

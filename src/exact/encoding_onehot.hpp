@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "exact/encoding.hpp"
+
+namespace mighty::exact {
+
+/// Direct CNF encoding of the exact-synthesis decision problem with one-hot
+/// select variables.  Variable layout per gate l (0-based, k gates over n
+/// inputs, rows j in [0, 2^n)):
+///   s[l][c][i] : operand c of gate l selects domain value i, where
+///                i = 0 is the constant, 1..n the inputs, n+1+m step m;
+///   p[l][c]    : operand c of gate l is complemented;
+///   a[l][c][j] : value of operand c of gate l on row j (paper eq. (6)-(8));
+///   b[l][j]    : output value of gate l on row j (paper eq. (4), (9)).
+class OnehotEncoder final : public Encoder {
+public:
+  OnehotEncoder(sat::Solver& solver, const tt::TruthTable& f, uint32_t num_gates,
+                const EncodeOptions& options = {});
+
+  void encode() override;
+  MigChain extract() const override;
+
+private:
+  uint32_t domain_size(uint32_t l) const { return 1 + n_ + l; }
+
+  sat::Solver& solver_;
+  tt::TruthTable f_;
+  uint32_t k_;
+  uint32_t n_;
+  uint32_t rows_;
+  EncodeOptions options_;
+
+  std::vector<std::array<std::vector<sat::Var>, 3>> s_;
+  std::vector<std::array<sat::Var, 3>> p_;
+  std::vector<std::array<std::vector<sat::Var>, 3>> a_;
+  std::vector<std::vector<sat::Var>> b_;
+};
+
+}  // namespace mighty::exact

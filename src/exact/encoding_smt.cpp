@@ -1,0 +1,121 @@
+#include "exact/encoding_smt.hpp"
+
+#include <cassert>
+
+namespace mighty::exact {
+
+using sat::Lit;
+using sat::negate;
+
+namespace {
+
+uint32_t bits_for(uint32_t max_value) {
+  uint32_t bits = 1;
+  while ((uint64_t{1} << bits) <= max_value) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+SmtEncoder::SmtEncoder(sat::Solver& solver, const tt::TruthTable& f, uint32_t num_gates,
+                       const EncodeOptions& options)
+    : ctx_(solver),
+      f_(f),
+      k_(num_gates),
+      n_(f.num_vars()),
+      rows_(1u << f.num_vars()),
+      options_(options) {
+  assert(k_ >= 1);
+}
+
+void SmtEncoder::encode() {
+  s_.resize(k_);
+  p_.resize(k_);
+  a_.resize(k_);
+  b_.resize(k_);
+
+  for (uint32_t l = 0; l < k_; ++l) {
+    const uint32_t dom = domain_size(l);
+    const uint32_t width = bits_for(dom - 1);
+    for (uint32_t c = 0; c < 3; ++c) {
+      s_[l][c] = ctx_.bv_variable(width);
+      p_[l][c] = ctx_.fresh();
+      a_[l][c].resize(rows_);
+      for (uint32_t j = 0; j < rows_; ++j) a_[l][c][j] = ctx_.fresh();
+      // Range constraint s < n + l + 1 in our 0-based domain (paper eq. (5)).
+      // When the domain exactly fills the bit-width the constraint is
+      // vacuous (and the truncated constant would wrap to zero).
+      if (dom < (uint64_t{1} << width)) {
+        ctx_.assert_lit(ctx_.ult_const(s_[l][c], dom));
+      }
+    }
+
+    // Operand ordering (paper eq. (10)).
+    if (options_.operand_ordering) {
+      ctx_.assert_lit(ctx_.ult(s_[l][0], s_[l][1]));
+      ctx_.assert_lit(ctx_.ult(s_[l][1], s_[l][2]));
+    }
+
+    // Majority functionality (paper eq. (4)): bind b to <a1 a2 a3>.
+    b_[l].resize(rows_);
+    for (uint32_t j = 0; j < rows_; ++j) {
+      b_[l][j] = ctx_.make_maj(a_[l][0][j], a_[l][1][j], a_[l][2][j]);
+    }
+
+    // Connection semantics (paper eqs. (6)-(8)).
+    for (uint32_t c = 0; c < 3; ++c) {
+      for (uint32_t i = 0; i < dom; ++i) {
+        const Lit sel = ctx_.eq_const(s_[l][c], i);
+        for (uint32_t j = 0; j < rows_; ++j) {
+          const Lit av = a_[l][c][j];
+          Lit target;  // value of the selected operand before polarity
+          if (i == 0) {
+            target = ctx_.false_lit();
+          } else if (i <= n_) {
+            target = ctx_.literal(((j >> (i - 1)) & 1) != 0);
+          } else {
+            target = b_[i - n_ - 1][j];
+          }
+          // sel -> (a <-> target xor p)
+          ctx_.assert_implies_eq(sel, av, ctx_.make_xor(target, p_[l][c]));
+        }
+      }
+    }
+  }
+
+  // Function semantics (paper eq. (9), output polarity folded away).
+  for (uint32_t j = 0; j < rows_; ++j) {
+    ctx_.assert_lit(f_.get_bit(j) ? b_[k_ - 1][j] : negate(b_[k_ - 1][j]));
+  }
+
+  if (options_.all_gates_used) {
+    for (uint32_t l = 0; l + 1 < k_; ++l) {
+      std::vector<Lit> used;
+      for (uint32_t l2 = l + 1; l2 < k_; ++l2) {
+        for (uint32_t c = 0; c < 3; ++c) {
+          used.push_back(ctx_.eq_const(s_[l2][c], n_ + 1 + l));
+        }
+      }
+      ctx_.solver().add_clause(used);
+    }
+  }
+}
+
+MigChain SmtEncoder::extract() const {
+  MigChain chain;
+  chain.num_vars = n_;
+  for (uint32_t l = 0; l < k_; ++l) {
+    MigChain::Step step;
+    for (uint32_t c = 0; c < 3; ++c) {
+      const auto selected = static_cast<uint32_t>(ctx_.model_value(s_[l][c]));
+      assert(selected < domain_size(l));
+      step.fanin[c] =
+          make_ref_lit(selected, ctx_.solver().model_value_lit(p_[l][c]));
+    }
+    chain.steps.push_back(step);
+  }
+  chain.output = make_ref_lit(n_ + k_, false);
+  return chain;
+}
+
+}  // namespace mighty::exact

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exact/encoding.hpp"
+#include "smt/bitvector.hpp"
+
+namespace mighty::exact {
+
+/// The paper's SMT(QF_BV) formulation (Sec. III) built on the `smt::Context`
+/// bit-blasting layer: select variables are bit-vectors s_{c,l} constrained
+/// by s_{c,l} < n + l (eq. (5)), connections are implications guarded by
+/// bit-vector equalities (eqs. (6)-(8)), and operand ordering uses bit-vector
+/// comparisons (eq. (10)).
+class SmtEncoder final : public Encoder {
+public:
+  SmtEncoder(sat::Solver& solver, const tt::TruthTable& f, uint32_t num_gates,
+             const EncodeOptions& options = {});
+
+  void encode() override;
+  MigChain extract() const override;
+
+private:
+  uint32_t domain_size(uint32_t l) const { return 1 + n_ + l; }
+
+  smt::Context ctx_;
+  tt::TruthTable f_;
+  uint32_t k_;
+  uint32_t n_;
+  uint32_t rows_;
+  EncodeOptions options_;
+
+  std::vector<std::array<smt::BitVector, 3>> s_;
+  std::vector<std::array<sat::Lit, 3>> p_;
+  std::vector<std::array<std::vector<sat::Lit>, 3>> a_;
+  std::vector<std::vector<sat::Lit>> b_;
+};
+
+}  // namespace mighty::exact

@@ -1,0 +1,22 @@
+#include "gen/arith.hpp"
+
+/// Adder (EPFL signature 256/129): two 128-bit operands, 129-bit sum.  The
+/// Kogge-Stone prefix structure is used so that the pre-optimization baseline
+/// already has logarithmic depth, mirroring the paper's setting where the
+/// starting points are depth-optimized MIGs.
+
+namespace mighty::gen {
+
+mig::Mig make_adder_n(uint32_t bits) {
+  mig::Mig m;
+  Word a, b;
+  for (uint32_t i = 0; i < bits; ++i) a.push_back(m.create_pi());
+  for (uint32_t i = 0; i < bits; ++i) b.push_back(m.create_pi());
+  const Word sum = kogge_stone_add(m, a, b);
+  for (const mig::Signal s : sum) m.create_po(s);
+  return m;
+}
+
+mig::Mig make_adder() { return make_adder_n(128); }
+
+}  // namespace mighty::gen

@@ -1,0 +1,157 @@
+#include "gen/arith.hpp"
+
+#include <cassert>
+
+namespace mighty::gen {
+
+using mig::Mig;
+using mig::Signal;
+
+SumCarry full_adder(Mig& m, Signal a, Signal b, Signal c) {
+  // Built the way an AND/OR/XOR-based flow would emit it (two half adders),
+  // not in the MIG-optimal Fig.-1 form: the paper's starting points come from
+  // such flows, and this leaves the majority-carry reconstruction to the
+  // optimization algorithms under test.
+  const Signal axb = m.create_xor(a, b);
+  const Signal sum = m.create_xor(axb, c);
+  const Signal carry = m.create_or(m.create_and(a, b), m.create_and(axb, c));
+  return SumCarry{sum, carry};
+}
+
+Word ripple_add(Mig& m, const Word& a, const Word& b, Signal carry_in) {
+  const size_t n = std::max(a.size(), b.size());
+  Word sum;
+  sum.reserve(n + 1);
+  Signal carry = carry_in;
+  for (size_t i = 0; i < n; ++i) {
+    const Signal ai = i < a.size() ? a[i] : m.get_constant(false);
+    const Signal bi = i < b.size() ? b[i] : m.get_constant(false);
+    const auto fa = full_adder(m, ai, bi, carry);
+    sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  sum.push_back(carry);
+  return sum;
+}
+
+Word kogge_stone_add(Mig& m, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  const size_t n = a.size();
+  // Generate/propagate pairs; prefix-combine with doubling strides.
+  std::vector<Signal> g(n), p(n);
+  for (size_t i = 0; i < n; ++i) {
+    g[i] = m.create_and(a[i], b[i]);
+    p[i] = m.create_xor(a[i], b[i]);
+  }
+  std::vector<Signal> gg = g, pp = p;
+  for (size_t stride = 1; stride < n; stride *= 2) {
+    std::vector<Signal> g2 = gg, p2 = pp;
+    for (size_t i = stride; i < n; ++i) {
+      // (g, p) o (g', p') = (g | p & g', p & p')
+      g2[i] = m.create_or(gg[i], m.create_and(pp[i], gg[i - stride]));
+      p2[i] = m.create_and(pp[i], pp[i - stride]);
+    }
+    gg = std::move(g2);
+    pp = std::move(p2);
+  }
+  // Carries: c_0 = 0, c_{i+1} = G_{0..i} = gg[i].
+  Word sum(n + 1);
+  Signal carry = m.get_constant(false);
+  for (size_t i = 0; i < n; ++i) {
+    sum[i] = m.create_xor(p[i], carry);
+    carry = gg[i];
+  }
+  sum[n] = carry;
+  return sum;
+}
+
+SubResult subtract(Mig& m, const Word& a, const Word& b) {
+  // a - b = a + ~b + 1; the carry out of the addition is the no-borrow flag.
+  Word b_not;
+  b_not.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    b_not.push_back(i < b.size() ? !b[i] : m.get_constant(true));
+  }
+  Word sum = ripple_add(m, a, b_not, m.get_constant(true));
+  SubResult r;
+  r.no_borrow = sum.back();
+  sum.pop_back();
+  r.difference = std::move(sum);
+  return r;
+}
+
+Signal less_than(Mig& m, const Word& a, const Word& b) {
+  return !subtract(m, a, b).no_borrow;
+}
+
+Word mux_word(Mig& m, Signal sel, const Word& t, const Word& e) {
+  assert(t.size() == e.size());
+  Word r;
+  r.reserve(t.size());
+  for (size_t i = 0; i < t.size(); ++i) r.push_back(m.create_ite(sel, t[i], e[i]));
+  return r;
+}
+
+Word shift_left_const(Mig& m, const Word& a, uint32_t amount, uint32_t width) {
+  Word r(width, m.get_constant(false));
+  for (uint32_t i = 0; i + amount < width && i < a.size(); ++i) {
+    r[i + amount] = a[i];
+  }
+  return r;
+}
+
+Word constant_word(Mig& m, uint64_t value, uint32_t width) {
+  Word r;
+  r.reserve(width);
+  for (uint32_t i = 0; i < width; ++i) r.push_back(m.get_constant(((value >> i) & 1) != 0));
+  return r;
+}
+
+Word resize(Mig& m, const Word& a, uint32_t width) {
+  Word r = a;
+  r.resize(width, m.get_constant(false));
+  return r;
+}
+
+Word add_many(Mig& m, std::vector<Word> addends, uint32_t width) {
+  if (addends.empty()) return constant_word(m, 0, width);
+  for (auto& w : addends) w = resize(m, w, width);
+  // 3:2 carry-save compression until two rows remain, then one ripple add.
+  while (addends.size() > 2) {
+    std::vector<Word> next;
+    size_t i = 0;
+    for (; i + 2 < addends.size(); i += 3) {
+      Word sums(width, m.get_constant(false));
+      Word carries(width, m.get_constant(false));
+      for (uint32_t bit = 0; bit < width; ++bit) {
+        const auto fa = full_adder(m, addends[i][bit], addends[i + 1][bit],
+                                   addends[i + 2][bit]);
+        sums[bit] = fa.sum;
+        if (bit + 1 < width) carries[bit + 1] = fa.carry;
+      }
+      next.push_back(std::move(sums));
+      next.push_back(std::move(carries));
+    }
+    for (; i < addends.size(); ++i) next.push_back(std::move(addends[i]));
+    addends = std::move(next);
+  }
+  if (addends.size() == 1) return resize(m, addends[0], width);
+  Word sum = ripple_add(m, addends[0], addends[1], m.get_constant(false));
+  sum.resize(width, m.get_constant(false));
+  return sum;
+}
+
+std::vector<Benchmark> epfl_arithmetic_suite() {
+  std::vector<Benchmark> suite;
+  suite.push_back({"Adder", make_adder()});
+  suite.push_back({"Divisor", make_divisor()});
+  suite.push_back({"Log2", make_log2()});
+  suite.push_back({"Max", make_max()});
+  suite.push_back({"Multiplier", make_multiplier()});
+  suite.push_back({"Sine", make_sine()});
+  suite.push_back({"Square-root", make_sqrt()});
+  suite.push_back({"Square", make_square()});
+  return suite;
+}
+
+}  // namespace mighty::gen

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+/// \file arith.hpp
+/// \brief Generators for the eight arithmetic benchmarks of the EPFL suite.
+///
+/// The paper evaluates on the EPFL arithmetic benchmarks (Adder 256/129,
+/// Divisor 128/128, Log2 32/32, Max 512/130, Multiplier 128/128, Sine 24/25,
+/// Square-root 128/64, Square 64/128).  The original circuit files are not
+/// redistributable here, so functionally equivalent MIGs are generated from
+/// textbook structures with the same I/O signatures (see DESIGN.md for the
+/// substitution rationale).  Every generator has a bit-exact software model
+/// in `gen/arith.hpp` used by the validation tests.
+
+namespace mighty::gen {
+
+/// A little-endian word of signals (bit 0 first).
+using Word = std::vector<mig::Signal>;
+
+// --- word-level helper kit ----------------------------------------------------
+
+/// Full adder (3 gates: shared carry plus Fig.-1 sum structure).
+struct SumCarry {
+  mig::Signal sum;
+  mig::Signal carry;
+};
+SumCarry full_adder(mig::Mig& m, mig::Signal a, mig::Signal b, mig::Signal c);
+
+/// Ripple-carry addition; result has max(|a|,|b|)+1 bits (carry out last).
+Word ripple_add(mig::Mig& m, const Word& a, const Word& b, mig::Signal carry_in);
+
+/// Kogge-Stone parallel-prefix adder: logarithmic depth, used to seed the
+/// depth-optimized baselines.  Result has |a|+1 bits; |a| must equal |b|.
+Word kogge_stone_add(mig::Mig& m, const Word& a, const Word& b);
+
+/// a - b as a word of |a| bits plus the final borrow-free flag:
+/// returns {difference, no_borrow} where no_borrow = (a >= b).
+struct SubResult {
+  Word difference;
+  mig::Signal no_borrow;
+};
+SubResult subtract(mig::Mig& m, const Word& a, const Word& b);
+
+/// Unsigned comparison a < b.
+mig::Signal less_than(mig::Mig& m, const Word& a, const Word& b);
+
+/// Per-bit multiplexer: sel ? t : e.
+Word mux_word(mig::Mig& m, mig::Signal sel, const Word& t, const Word& e);
+
+/// Left shift by a constant (zero fill), keeping `width` bits.
+Word shift_left_const(mig::Mig& m, const Word& a, uint32_t amount, uint32_t width);
+
+/// Constant word of `width` bits.
+Word constant_word(mig::Mig& m, uint64_t value, uint32_t width);
+
+/// Resizes a word (zero-extends or truncates).
+Word resize(mig::Mig& m, const Word& a, uint32_t width);
+
+/// Carry-save array reduction of addends into a single word of `width` bits
+/// (each addend is a word that is added at bit offset 0).
+Word add_many(mig::Mig& m, std::vector<Word> addends, uint32_t width);
+
+// --- the eight benchmark circuits ---------------------------------------------
+
+struct Benchmark {
+  std::string name;
+  mig::Mig mig;
+};
+
+mig::Mig make_adder();       ///< 256 in / 129 out: 128+128 -> 129-bit sum
+mig::Mig make_divisor();     ///< 128 in / 128 out: 64/64 -> quotient, remainder
+mig::Mig make_log2();        ///< 32 in / 32 out: fixed-point log2 (5 int, 27 frac)
+mig::Mig make_max();         ///< 512 in / 130 out: max of four 128-bit words + index
+mig::Mig make_multiplier();  ///< 128 in / 128 out: 64x64 -> 128-bit product
+mig::Mig make_sine();        ///< 24 in / 25 out: CORDIC sine over a 24-bit angle
+mig::Mig make_sqrt();        ///< 128 in / 64 out: integer square root
+mig::Mig make_square();      ///< 64 in / 128 out: 64-bit squarer
+
+/// The full suite in the paper's Table III order.
+std::vector<Benchmark> epfl_arithmetic_suite();
+
+/// Reduced-width variants for fast tests and smoke benches: every circuit's
+/// structure generator parameterized by operand width.
+mig::Mig make_adder_n(uint32_t bits);
+mig::Mig make_divisor_n(uint32_t bits);
+mig::Mig make_multiplier_n(uint32_t bits);
+mig::Mig make_square_n(uint32_t bits);
+mig::Mig make_sqrt_n(uint32_t bits);        ///< input 2*bits, output bits
+mig::Mig make_max_n(uint32_t bits);         ///< four operands of `bits` bits
+mig::Mig make_log2_n(uint32_t frac_bits);   ///< 32-bit input, 5 + frac_bits outputs
+mig::Mig make_sine_n(uint32_t angle_bits);  ///< angle_bits input, angle_bits+1 outputs
+
+// --- bit-exact software models (for validation) --------------------------------
+
+/// Software model of make_log2_n: integer part = floor(log2(x)), fractional
+/// bits by repeated squaring of a 15-bit mantissa.  x must be nonzero.
+uint64_t log2_model(uint32_t x, uint32_t frac_bits);
+
+/// Software model of make_sine_n: CORDIC with angle_bits iterations, input
+/// angle in [0, pi/2) as a Q0.angle_bits fraction of pi/2, output sine as a
+/// signed Q1.angle_bits value (always non-negative here).
+uint64_t sine_model(uint64_t angle, uint32_t angle_bits);
+
+}  // namespace mighty::gen

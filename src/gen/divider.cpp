@@ -1,0 +1,42 @@
+#include "gen/arith.hpp"
+
+/// Divisor (128/128): 64-bit restoring array divider producing the quotient
+/// and the remainder.  Division by zero yields an all-ones quotient and the
+/// dividend as remainder (the natural output of the restoring array when the
+/// subtraction never borrows... with divisor 0 the subtract always succeeds,
+/// giving quotient all-ones and remainder equal to the running partial, which
+/// the software model in the tests replicates).
+
+namespace mighty::gen {
+
+mig::Mig make_divisor_n(uint32_t bits) {
+  mig::Mig m;
+  Word dividend, divisor;
+  for (uint32_t i = 0; i < bits; ++i) dividend.push_back(m.create_pi());
+  for (uint32_t i = 0; i < bits; ++i) divisor.push_back(m.create_pi());
+
+  // Restoring division, MSB first: shift the next dividend bit into the
+  // partial remainder, try to subtract the divisor, keep the difference when
+  // it does not borrow.
+  Word remainder(bits + 1, m.get_constant(false));
+  Word quotient(bits, m.get_constant(false));
+  for (uint32_t step = 0; step < bits; ++step) {
+    // remainder = (remainder << 1) | dividend[bits-1-step]
+    Word shifted(bits + 1, m.get_constant(false));
+    shifted[0] = dividend[bits - 1 - step];
+    for (uint32_t i = 0; i + 1 < bits + 1; ++i) shifted[i + 1] = remainder[i];
+    const Word divisor_ext = resize(m, divisor, bits + 1);
+    const SubResult sub = subtract(m, shifted, divisor_ext);
+    quotient[bits - 1 - step] = sub.no_borrow;
+    remainder = mux_word(m, sub.no_borrow, sub.difference, shifted);
+  }
+  remainder.resize(bits);
+
+  for (const mig::Signal s : quotient) m.create_po(s);
+  for (const mig::Signal s : remainder) m.create_po(s);
+  return m;
+}
+
+mig::Mig make_divisor() { return make_divisor_n(64); }
+
+}  // namespace mighty::gen

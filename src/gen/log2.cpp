@@ -1,0 +1,124 @@
+#include "gen/arith.hpp"
+
+/// Log2 (32/32): fixed-point base-2 logarithm of a 32-bit integer.  The
+/// integer part (5 bits) is the position of the leading one; the fractional
+/// part (27 bits) comes from the classic repeated-squaring method on a
+/// 15-bit normalized mantissa:  with m in [1,2), square it; if m^2 >= 2 the
+/// next fraction bit is 1 and m^2 is halved.  `log2_model` replicates the
+/// computation bit-exactly.
+
+namespace mighty::gen {
+
+namespace {
+constexpr uint32_t kMantissaBits = 15;  // 1 integer + 14 fraction bits
+}
+
+mig::Mig make_log2_n(uint32_t frac_bits) {
+  constexpr uint32_t kInputBits = 32;
+  mig::Mig m;
+  Word x;
+  for (uint32_t i = 0; i < kInputBits; ++i) x.push_back(m.create_pi());
+
+  // Leading-one detection: none_above[i] = no input bit above i is set.
+  std::vector<mig::Signal> none_above(kInputBits);
+  std::vector<mig::Signal> is_msb(kInputBits);
+  mig::Signal chain = m.get_constant(true);
+  for (uint32_t i = kInputBits; i-- > 0;) {
+    none_above[i] = chain;
+    is_msb[i] = m.create_and(x[i], chain);
+    chain = m.create_and(chain, !x[i]);
+  }
+
+  // Integer part: binary encoding of the leading-one position.
+  Word int_part(5, m.get_constant(false));
+  for (uint32_t j = 0; j < 5; ++j) {
+    mig::Signal acc = m.get_constant(false);
+    for (uint32_t i = 0; i < kInputBits; ++i) {
+      if ((i >> j) & 1) acc = m.create_or(acc, is_msb[i]);
+    }
+    int_part[j] = acc;
+  }
+
+  // Normalized mantissa: the top kMantissaBits bits starting at the leading
+  // one (one-hot select; zero when x == 0).
+  Word mantissa(kMantissaBits, m.get_constant(false));
+  for (uint32_t t = 0; t < kMantissaBits; ++t) {
+    // mantissa bit t takes input bit (i - (kMantissaBits-1) + t) when the
+    // leading one is at position i.
+    mig::Signal acc = m.get_constant(false);
+    for (uint32_t i = 0; i < kInputBits; ++i) {
+      const int src = static_cast<int>(i) - static_cast<int>(kMantissaBits - 1) +
+                      static_cast<int>(t);
+      if (src < 0 || src > static_cast<int>(i)) continue;
+      acc = m.create_or(acc, m.create_and(is_msb[i], x[static_cast<uint32_t>(src)]));
+    }
+    mantissa[t] = acc;
+  }
+
+  // Fraction bits by repeated squaring of the mantissa.
+  Word frac(frac_bits, m.get_constant(false));
+  Word y = mantissa;  // Q1.(kMantissaBits-1)
+  for (uint32_t step = 0; step < frac_bits; ++step) {
+    // s = y * y, a 2*kMantissaBits-bit square.
+    std::vector<Word> rows;
+    Word diag(2 * kMantissaBits, m.get_constant(false));
+    for (uint32_t i = 0; i < kMantissaBits; ++i) diag[2 * i] = y[i];
+    rows.push_back(std::move(diag));
+    for (uint32_t j = 0; j < kMantissaBits; ++j) {
+      Word row(2 * kMantissaBits, m.get_constant(false));
+      bool any = false;
+      for (uint32_t i = j + 1; i < kMantissaBits; ++i) {
+        row[i + j + 1] = m.create_and(y[i], y[j]);
+        any = true;
+      }
+      if (any) rows.push_back(std::move(row));
+    }
+    const Word s = add_many(m, std::move(rows), 2 * kMantissaBits);
+
+    // s in Q2.(2*kMantissaBits-2); bit (2*kMantissaBits-1) means s >= 2.
+    const mig::Signal ge2 = s[2 * kMantissaBits - 1];
+    frac[frac_bits - 1 - step] = ge2;  // MSB-first fraction
+    Word hi(kMantissaBits), lo(kMantissaBits);
+    for (uint32_t i = 0; i < kMantissaBits; ++i) {
+      hi[i] = s[i + kMantissaBits];      // s >> kMantissaBits (when >= 2)
+      lo[i] = s[i + kMantissaBits - 1];  // s >> (kMantissaBits-1)
+    }
+    y = mux_word(m, ge2, hi, lo);
+  }
+
+  for (const mig::Signal s : frac) m.create_po(s);      // fraction, LSB first
+  for (const mig::Signal s : int_part) m.create_po(s);  // integer part above
+  return m;
+}
+
+mig::Mig make_log2() { return make_log2_n(27); }
+
+uint64_t log2_model(uint32_t x, uint32_t frac_bits) {
+  // Mirror the circuit exactly, including the x == 0 corner (k = 0, zero
+  // mantissa, zero fraction).
+  uint32_t k = 0;
+  for (uint32_t i = 0; i < 32; ++i) {
+    if ((x >> i) & 1) k = i;
+  }
+  uint64_t mantissa = 0;
+  if (x != 0) {
+    // Top kMantissaBits bits starting at the leading one.
+    for (uint32_t t = 0; t < kMantissaBits; ++t) {
+      const int src = static_cast<int>(k) - static_cast<int>(kMantissaBits - 1) +
+                      static_cast<int>(t);
+      if (src >= 0 && ((x >> src) & 1)) mantissa |= uint64_t{1} << t;
+    }
+  }
+  uint64_t frac = 0;
+  uint64_t y = mantissa;
+  for (uint32_t step = 0; step < frac_bits; ++step) {
+    const uint64_t s = y * y;
+    const bool ge2 = ((s >> (2 * kMantissaBits - 1)) & 1) != 0;
+    frac |= uint64_t{ge2} << (frac_bits - 1 - step);
+    y = ge2 ? (s >> kMantissaBits) : (s >> (kMantissaBits - 1));
+    y &= (uint64_t{1} << kMantissaBits) - 1;
+  }
+  return frac | (uint64_t{k} << frac_bits);
+}
+
+}  // namespace mighty::gen

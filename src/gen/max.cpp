@@ -1,0 +1,39 @@
+#include "gen/arith.hpp"
+
+/// Max (512/130): maximum of four 128-bit unsigned words plus the 2-bit index
+/// of the winner (ties resolved toward the lower index), computed as a
+/// comparator/multiplexer tournament.
+
+namespace mighty::gen {
+
+mig::Mig make_max_n(uint32_t bits) {
+  mig::Mig m;
+  std::array<Word, 4> v;
+  for (auto& word : v) {
+    for (uint32_t i = 0; i < bits; ++i) word.push_back(m.create_pi());
+  }
+
+  // Round 1: winners of (v0, v1) and (v2, v3).
+  const mig::Signal v1_wins = less_than(m, v[0], v[1]);
+  const Word m01 = mux_word(m, v1_wins, v[1], v[0]);
+  const mig::Signal v3_wins = less_than(m, v[2], v[3]);
+  const Word m23 = mux_word(m, v3_wins, v[3], v[2]);
+
+  // Final: winner of the two semifinals.
+  const mig::Signal hi_wins = less_than(m, m01, m23);
+  const Word winner = mux_word(m, hi_wins, m23, m01);
+
+  // Index bits: bit1 selects the (v2, v3) bracket, bit0 the upper element of
+  // the winning bracket.
+  const mig::Signal index1 = hi_wins;
+  const mig::Signal index0 = m.create_ite(hi_wins, v3_wins, v1_wins);
+
+  for (const mig::Signal s : winner) m.create_po(s);
+  m.create_po(index0);
+  m.create_po(index1);
+  return m;
+}
+
+mig::Mig make_max() { return make_max_n(128); }
+
+}  // namespace mighty::gen

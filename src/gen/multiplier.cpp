@@ -1,0 +1,62 @@
+#include "gen/arith.hpp"
+
+/// Multiplier (128/128): 64x64 unsigned array multiplier with carry-save
+/// reduction.  Square (64/128): dedicated squarer exploiting the symmetry
+/// x_i x_j = x_j x_i (off-diagonal products are added once, shifted left).
+
+namespace mighty::gen {
+
+mig::Mig make_multiplier_n(uint32_t bits) {
+  mig::Mig m;
+  Word a, b;
+  for (uint32_t i = 0; i < bits; ++i) a.push_back(m.create_pi());
+  for (uint32_t i = 0; i < bits; ++i) b.push_back(m.create_pi());
+
+  const uint32_t width = 2 * bits;
+  std::vector<Word> rows;
+  rows.reserve(bits);
+  for (uint32_t j = 0; j < bits; ++j) {
+    Word row(width, m.get_constant(false));
+    for (uint32_t i = 0; i < bits; ++i) {
+      row[i + j] = m.create_and(a[i], b[j]);
+    }
+    rows.push_back(std::move(row));
+  }
+  const Word product = add_many(m, std::move(rows), width);
+  for (const mig::Signal s : product) m.create_po(s);
+  return m;
+}
+
+mig::Mig make_multiplier() { return make_multiplier_n(64); }
+
+mig::Mig make_square_n(uint32_t bits) {
+  mig::Mig m;
+  Word x;
+  for (uint32_t i = 0; i < bits; ++i) x.push_back(m.create_pi());
+
+  const uint32_t width = 2 * bits;
+  std::vector<Word> rows;
+  // Diagonal terms x_i^2 = x_i at weight 2i; off-diagonal pairs contribute
+  // x_i x_j at weight i+j+1 (counted once, doubled by the shift).
+  Word diag(width, m.get_constant(false));
+  for (uint32_t i = 0; i < bits; ++i) diag[2 * i] = x[i];
+  rows.push_back(std::move(diag));
+  for (uint32_t j = 0; j < bits; ++j) {
+    Word row(width, m.get_constant(false));
+    bool any = false;
+    for (uint32_t i = j + 1; i < bits; ++i) {
+      if (i + j + 1 < width) {
+        row[i + j + 1] = m.create_and(x[i], x[j]);
+        any = true;
+      }
+    }
+    if (any) rows.push_back(std::move(row));
+  }
+  const Word square = add_many(m, std::move(rows), width);
+  for (const mig::Signal s : square) m.create_po(s);
+  return m;
+}
+
+mig::Mig make_square() { return make_square_n(64); }
+
+}  // namespace mighty::gen

@@ -1,0 +1,118 @@
+#include "gen/arith.hpp"
+
+#include <cmath>
+
+/// Sine (24/25): CORDIC in circular rotation mode.  The input is an angle in
+/// Q0.24 radians (range [0, 1)); the output is sin(angle) in Q1.24.  One
+/// add/sub-rotate stage per angle bit; the arctangent constants and the gain
+/// compensation are compile-time constants, so `sine_model` reproduces the
+/// datapath bit-exactly with integer arithmetic.
+
+namespace mighty::gen {
+
+namespace {
+
+/// atan(2^-i) scaled to Q0.`frac` fixed point.
+int64_t atan_constant(uint32_t i, uint32_t frac) {
+  return static_cast<int64_t>(std::llround(std::atan(std::ldexp(1.0, -static_cast<int>(i))) *
+                                           std::ldexp(1.0, static_cast<int>(frac))));
+}
+
+/// CORDIC gain K = prod 1/sqrt(1+2^-2i), scaled to Q1.`frac`.
+int64_t gain_constant(uint32_t iterations, uint32_t frac) {
+  double k = 1.0;
+  for (uint32_t i = 0; i < iterations; ++i) {
+    k /= std::sqrt(1.0 + std::ldexp(1.0, -2 * static_cast<int>(i)));
+  }
+  return static_cast<int64_t>(std::llround(k * std::ldexp(1.0, static_cast<int>(frac))));
+}
+
+/// Conditional adder/subtractor: out = a + (b ^ sub) + sub, i.e. a+b when
+/// sub = 0 and a-b when sub = 1; words are two's complement of equal width.
+Word add_sub(mig::Mig& m, const Word& a, const Word& b, mig::Signal sub) {
+  Word b_eff;
+  b_eff.reserve(b.size());
+  for (const mig::Signal s : b) b_eff.push_back(m.create_xor(s, sub));
+  Word sum = ripple_add(m, a, b_eff, sub);
+  sum.resize(a.size());  // two's complement: discard the carry out
+  return sum;
+}
+
+/// Arithmetic shift right by `amount` (sign extension).
+Word arith_shift_right(const Word& a, uint32_t amount) {
+  Word r(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t src = i + amount;
+    r[i] = src < a.size() ? a[src] : a.back();
+  }
+  return r;
+}
+
+}  // namespace
+
+mig::Mig make_sine_n(uint32_t angle_bits) {
+  // Datapath width: sign + 2 integer guard bits + angle_bits fraction.
+  const uint32_t width = angle_bits + 3;
+  mig::Mig m;
+  Word z;
+  for (uint32_t i = 0; i < angle_bits; ++i) z.push_back(m.create_pi());
+  z = resize(m, z, width);  // non-negative angle
+
+  Word x = constant_word(m, static_cast<uint64_t>(gain_constant(angle_bits, angle_bits)),
+                         width);
+  Word y = constant_word(m, 0, width);
+
+  for (uint32_t i = 0; i < angle_bits; ++i) {
+    const mig::Signal z_negative = z.back();
+    // d = +1 when z >= 0 (rotate toward larger angle): then
+    //   x' = x - (y >> i), y' = y + (x >> i), z' = z - atan(2^-i);
+    // otherwise the signs flip.
+    const Word xs = arith_shift_right(x, i);
+    const Word ys = arith_shift_right(y, i);
+    const Word atan_w = constant_word(
+        m, static_cast<uint64_t>(atan_constant(i, angle_bits)), width);
+    const Word x_next = add_sub(m, x, ys, !z_negative);
+    const Word y_next = add_sub(m, y, xs, z_negative);
+    const Word z_next = add_sub(m, z, atan_w, !z_negative);
+    x = x_next;
+    y = y_next;
+    z = z_next;
+  }
+
+  // sin(angle) = y, non-negative for angles in [0, 1); emit Q1.angle_bits.
+  for (uint32_t i = 0; i < angle_bits + 1; ++i) m.create_po(y[i]);
+  return m;
+}
+
+mig::Mig make_sine() { return make_sine_n(24); }
+
+uint64_t sine_model(uint64_t angle, uint32_t angle_bits) {
+  const uint32_t width = angle_bits + 3;
+  const int64_t mask = (int64_t{1} << width) - 1;
+  auto sign_extend = [&](int64_t v) {
+    v &= mask;
+    if ((v >> (width - 1)) & 1) v -= int64_t{1} << width;
+    return v;
+  };
+  int64_t x = gain_constant(angle_bits, angle_bits);
+  int64_t y = 0;
+  int64_t z = sign_extend(static_cast<int64_t>(angle));
+  for (uint32_t i = 0; i < angle_bits; ++i) {
+    const bool z_negative = z < 0;
+    const int64_t xs = x >> i;
+    const int64_t ys = y >> i;
+    const int64_t at = atan_constant(i, angle_bits);
+    if (!z_negative) {
+      x = sign_extend(x - ys);
+      y = sign_extend(y + xs);
+      z = sign_extend(z - at);
+    } else {
+      x = sign_extend(x + ys);
+      y = sign_extend(y - xs);
+      z = sign_extend(z + at);
+    }
+  }
+  return static_cast<uint64_t>(y) & ((uint64_t{1} << (angle_bits + 1)) - 1);
+}
+
+}  // namespace mighty::gen

@@ -1,0 +1,47 @@
+#include "gen/arith.hpp"
+
+/// Square-root (128/64): restoring integer square root, digit-by-digit from
+/// the most significant radicand pair downward.
+
+namespace mighty::gen {
+
+mig::Mig make_sqrt_n(uint32_t bits) {
+  // Input has 2*bits bits, output has `bits` bits.
+  mig::Mig m;
+  Word x;
+  for (uint32_t i = 0; i < 2 * bits; ++i) x.push_back(m.create_pi());
+
+  // Classic restoring algorithm: in each of `bits` iterations, bring down the
+  // next two radicand bits, form the trial subtrahend (root << 2) | 1, and
+  // accept the subtraction when it does not borrow.
+  const uint32_t rem_width = bits + 2;
+  Word remainder(rem_width, m.get_constant(false));
+  Word root;  // little-endian, grows by one accepted bit per step
+
+  for (uint32_t step = 0; step < bits; ++step) {
+    // remainder = (remainder << 2) | next two input bits (MSB first).
+    Word shifted(rem_width, m.get_constant(false));
+    shifted[1] = x[2 * (bits - 1 - step) + 1];
+    shifted[0] = x[2 * (bits - 1 - step)];
+    for (uint32_t i = 0; i + 2 < rem_width; ++i) shifted[i + 2] = remainder[i];
+
+    // Trial value t = (root << 2) | 1.
+    Word trial(rem_width, m.get_constant(false));
+    trial[0] = m.get_constant(true);
+    for (uint32_t i = 0; i < root.size() && i + 2 < rem_width; ++i) {
+      trial[i + 2] = root[i];
+    }
+
+    const SubResult sub = subtract(m, shifted, trial);
+    remainder = mux_word(m, sub.no_borrow, sub.difference, shifted);
+    // Append the accepted bit to the root (as the new LSB).
+    root.insert(root.begin(), sub.no_borrow);
+  }
+
+  for (const mig::Signal s : root) m.create_po(s);
+  return m;
+}
+
+mig::Mig make_sqrt() { return make_sqrt_n(64); }
+
+}  // namespace mighty::gen

@@ -1,0 +1,236 @@
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/io.hpp"
+#include "tt/truth_table.hpp"
+
+namespace mighty::io {
+
+namespace {
+
+std::string node_name(const mig::Mig& mig, uint32_t index) {
+  if (mig.is_constant(index)) return "const0";
+  if (mig.is_pi(index)) return "x" + std::to_string(mig.pi_index(index));
+  return "n" + std::to_string(index);
+}
+
+/// Builds an arbitrary function of up to 6 leaves by Shannon decomposition.
+mig::Signal build_function(mig::Mig& m, const tt::TruthTable& f,
+                           const std::vector<mig::Signal>& leaves) {
+  if (f.is_const0()) return m.get_constant(false);
+  if (f.is_const1()) return m.get_constant(true);
+  for (uint32_t v = 0; v < f.num_vars(); ++v) {
+    if (f == tt::TruthTable::projection(f.num_vars(), v)) return leaves[v];
+    if (f == ~tt::TruthTable::projection(f.num_vars(), v)) return !leaves[v];
+  }
+  // Split on the highest support variable.
+  uint32_t var = 0;
+  for (uint32_t v = 0; v < f.num_vars(); ++v) {
+    if (f.depends_on(v)) var = v;
+  }
+  const auto f0 = build_function(m, f.cofactor(var, false), leaves);
+  const auto f1 = build_function(m, f.cofactor(var, true), leaves);
+  return m.create_ite(leaves[var], f1, f0);
+}
+
+}  // namespace
+
+void write_blif(std::ostream& os, const mig::Mig& mig, const std::string& model_name) {
+  os << ".model " << model_name << '\n';
+  os << ".inputs";
+  for (uint32_t i = 0; i < mig.num_pis(); ++i) os << " x" << i;
+  os << '\n';
+  os << ".outputs";
+  for (uint32_t o = 0; o < mig.num_pos(); ++o) os << " y" << o;
+  os << '\n';
+
+  const auto live = mig.live_mask();
+  bool const_used = live[mig::Mig::constant_node];
+  for (uint32_t n = 0; n < mig.num_nodes(); ++n) {
+    if (!live[n] || !mig.is_gate(n)) continue;
+    const auto& f = mig.fanins(n);
+    if (f[0].index() == mig::Mig::constant_node) const_used = true;
+  }
+  if (const_used) os << ".names const0\n";  // empty cover = constant 0
+
+  for (uint32_t n = 0; n < mig.num_nodes(); ++n) {
+    if (!live[n] || !mig.is_gate(n)) continue;
+    const auto& f = mig.fanins(n);
+    os << ".names " << node_name(mig, f[0].index()) << ' ' << node_name(mig, f[1].index())
+       << ' ' << node_name(mig, f[2].index()) << ' ' << node_name(mig, n) << '\n';
+    // Majority ON-set {11-, 1-1, -11}, with complemented fanins flipping the
+    // corresponding care literal.
+    const char one[3] = {f[0].is_complemented() ? '0' : '1',
+                         f[1].is_complemented() ? '0' : '1',
+                         f[2].is_complemented() ? '0' : '1'};
+    os << one[0] << one[1] << "- 1\n";
+    os << one[0] << '-' << one[2] << " 1\n";
+    os << '-' << one[1] << one[2] << " 1\n";
+  }
+
+  for (uint32_t o = 0; o < mig.num_pos(); ++o) {
+    const mig::Signal s = mig.output(o);
+    os << ".names " << node_name(mig, s.index()) << " y" << o << '\n';
+    os << (s.is_complemented() ? "0 1\n" : "1 1\n");
+  }
+  os << ".end\n";
+}
+
+void write_blif_file(const std::string& path, const mig::Mig& mig,
+                     const std::string& model_name) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_blif(os, mig, model_name);
+}
+
+mig::Mig read_blif(std::istream& is) {
+  struct Table {
+    std::vector<std::string> inputs;
+    std::string output;
+    std::vector<std::string> rows;
+  };
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<Table> tables;
+
+  // Tokenize with continuation-line support.
+  std::string line, pending;
+  std::vector<std::string> logical_lines;
+  while (std::getline(is, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    if (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      pending += line;
+      continue;
+    }
+    pending += line;
+    if (!pending.empty()) logical_lines.push_back(pending);
+    pending.clear();
+  }
+
+  Table* current = nullptr;
+  for (const auto& l : logical_lines) {
+    std::istringstream ls(l);
+    std::string head;
+    if (!(ls >> head)) continue;
+    if (head == ".model" || head == ".end") {
+      current = nullptr;
+      continue;
+    }
+    if (head == ".inputs") {
+      std::string name;
+      while (ls >> name) input_names.push_back(name);
+      current = nullptr;
+      continue;
+    }
+    if (head == ".outputs") {
+      std::string name;
+      while (ls >> name) output_names.push_back(name);
+      current = nullptr;
+      continue;
+    }
+    if (head == ".names") {
+      Table t;
+      std::string name;
+      std::vector<std::string> names;
+      while (ls >> name) names.push_back(name);
+      if (names.empty()) throw std::runtime_error("BLIF .names without signals");
+      t.output = names.back();
+      names.pop_back();
+      t.inputs = std::move(names);
+      tables.push_back(std::move(t));
+      current = &tables.back();
+      continue;
+    }
+    if (head[0] == '.') {
+      throw std::runtime_error("unsupported BLIF construct: " + head);
+    }
+    if (current == nullptr) throw std::runtime_error("BLIF cover row outside .names");
+    std::string rest;
+    std::string row = head;
+    if (ls >> rest) row += " " + rest;
+    current->rows.push_back(row);
+  }
+
+  mig::Mig m;
+  std::map<std::string, mig::Signal> signals;
+  for (const auto& name : input_names) signals[name] = m.create_pi();
+
+  std::map<std::string, const Table*> by_output;
+  for (const auto& t : tables) by_output[t.output] = &t;
+
+  // Resolve signals recursively (BLIF does not promise topological order).
+  std::vector<std::string> visiting;
+  std::function<mig::Signal(const std::string&)> resolve =
+      [&](const std::string& name) -> mig::Signal {
+    if (const auto it = signals.find(name); it != signals.end()) return it->second;
+    const auto t_it = by_output.find(name);
+    if (t_it == by_output.end()) {
+      throw std::runtime_error("BLIF signal without driver: " + name);
+    }
+    const Table& t = *t_it->second;
+    if (t.inputs.size() > 4) {
+      throw std::runtime_error("BLIF table with more than 4 inputs: " + name);
+    }
+    std::vector<mig::Signal> leaves;
+    for (const auto& in : t.inputs) leaves.push_back(resolve(in));
+
+    // Build the truth table from the cover.
+    const auto k = static_cast<uint32_t>(t.inputs.size());
+    tt::TruthTable on_set(k);
+    bool output_one = true;
+    for (const auto& row : t.rows) {
+      std::istringstream rs(row);
+      std::string pattern, value;
+      if (k == 0) {
+        value = row;
+        pattern.clear();
+      } else if (!(rs >> pattern >> value)) {
+        throw std::runtime_error("malformed BLIF cover row: " + row);
+      }
+      output_one = value == "1";
+      // Expand don't-cares.
+      std::vector<uint32_t> minterms{0};
+      std::vector<uint32_t> care;
+      for (uint32_t i = 0; i < k; ++i) {
+        std::vector<uint32_t> next;
+        for (const uint32_t base : minterms) {
+          if (pattern[i] == '0') {
+            next.push_back(base);
+          } else if (pattern[i] == '1') {
+            next.push_back(base | (1u << i));
+          } else {
+            next.push_back(base);
+            next.push_back(base | (1u << i));
+          }
+        }
+        minterms = std::move(next);
+        (void)care;
+      }
+      for (const uint32_t mt : minterms) on_set.set_bit(mt, true);
+    }
+    tt::TruthTable f = on_set;
+    if (!t.rows.empty() && !output_one) f = ~f;
+    if (t.rows.empty()) f = tt::TruthTable::constant(k, false);
+
+    const mig::Signal s = build_function(m, f, leaves);
+    signals[name] = s;
+    return s;
+  };
+
+  for (const auto& name : output_names) m.create_po(resolve(name));
+  return m;
+}
+
+mig::Mig read_blif_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return read_blif(is);
+}
+
+}  // namespace mighty::io

@@ -1,0 +1,35 @@
+#include <ostream>
+
+#include "io/io.hpp"
+
+namespace mighty::io {
+
+void write_dot(std::ostream& os, const mig::Mig& mig) {
+  os << "digraph mig {\n  rankdir=BT;\n";
+  const auto live = mig.live_mask();
+  if (live[mig::Mig::constant_node]) {
+    os << "  n0 [shape=box,label=\"0\"];\n";
+  }
+  for (uint32_t i = 0; i < mig.num_pis(); ++i) {
+    if (live[1 + i]) {
+      os << "  n" << (1 + i) << " [shape=box,label=\"x" << i << "\"];\n";
+    }
+  }
+  for (uint32_t n = 0; n < mig.num_nodes(); ++n) {
+    if (!live[n] || !mig.is_gate(n)) continue;
+    os << "  n" << n << " [shape=circle,label=\"MAJ\"];\n";
+    for (const mig::Signal s : mig.fanins(n)) {
+      os << "  n" << s.index() << " -> n" << n
+         << (s.is_complemented() ? " [style=dashed]" : "") << ";\n";
+    }
+  }
+  for (uint32_t o = 0; o < mig.num_pos(); ++o) {
+    const mig::Signal s = mig.output(o);
+    os << "  y" << o << " [shape=plaintext];\n";
+    os << "  n" << s.index() << " -> y" << o
+       << (s.is_complemented() ? " [style=dashed]" : "") << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace mighty::io

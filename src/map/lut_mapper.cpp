@@ -1,0 +1,224 @@
+#include "map/lut_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mighty::map {
+
+namespace {
+
+using cuts::Cut;
+
+struct CutCost {
+  Cut cut;
+  uint32_t arrival = 0;
+  double area_flow = 0.0;
+};
+
+struct NodeData {
+  std::vector<CutCost> cut_costs;
+  uint32_t best = 0;  ///< index of the representative cut
+  uint32_t arrival = 0;
+  double area_flow = 0.0;
+};
+
+}  // namespace
+
+MappingResult map_luts(const mig::Mig& mig, const MapParams& params) {
+  const uint32_t n = mig.num_nodes();
+  std::vector<NodeData> data(n);
+  const auto fanout = mig.compute_fanout_counts();
+  auto refs = [&](uint32_t v) { return std::max<uint32_t>(1, fanout[v]); };
+
+  std::vector<uint32_t> required(n, std::numeric_limits<uint32_t>::max());
+  std::vector<uint32_t> prev_arrival(n, 0);
+  bool have_required = false;
+  uint32_t target_depth = 0;
+
+  // Extracts the cover induced by the current best cuts.
+  auto extract_cover = [&]() {
+    MappingResult result;
+    std::vector<bool> needed(n, false);
+    std::vector<uint32_t> stack;
+    for (const mig::Signal o : mig.outputs()) {
+      if (mig.is_gate(o.index()) && !needed[o.index()]) {
+        needed[o.index()] = true;
+        stack.push_back(o.index());
+      }
+    }
+    while (!stack.empty()) {
+      const uint32_t v = stack.back();
+      stack.pop_back();
+      const auto& cut = data[v].cut_costs[data[v].best].cut;
+      std::vector<uint32_t> leaves;
+      for (uint8_t i = 0; i < cut.size; ++i) {
+        const uint32_t leaf = cut.leaves[i];
+        leaves.push_back(leaf);
+        if (mig.is_gate(leaf) && !needed[leaf]) {
+          needed[leaf] = true;
+          stack.push_back(leaf);
+        }
+      }
+      result.cover.emplace_back(v, std::move(leaves));
+    }
+    result.num_luts = static_cast<uint32_t>(result.cover.size());
+    // Depth over the cover (ascending node order = topological).
+    std::sort(result.cover.begin(), result.cover.end());
+    std::vector<uint32_t> level(n, 0);
+    for (const auto& [v, leaves] : result.cover) {
+      uint32_t max_level = 0;
+      for (const uint32_t leaf : leaves) {
+        max_level = std::max(max_level, level[leaf]);
+      }
+      level[v] = max_level + 1;
+    }
+    for (const mig::Signal o : mig.outputs()) {
+      result.depth = std::max(result.depth, level[o.index()]);
+    }
+    return result;
+  };
+
+  // The best cover seen across all passes is returned: the area-flow
+  // heuristic usually improves the cover, but on some structures a recovery
+  // pass is a net loss, and taking the per-pass optimum makes the rounds
+  // monotone.
+  MappingResult best;
+  bool have_best = false;
+
+  const uint32_t total_passes = 1 + params.area_rounds;
+  for (uint32_t pass = 0; pass < total_passes; ++pass) {
+    const bool area_mode = pass > 0;
+
+    for (uint32_t v = 0; v < n; ++v) {
+      if (!mig.is_gate(v)) {
+        data[v].arrival = 0;
+        data[v].area_flow = 0.0;
+        continue;
+      }
+      auto& nd = data[v];
+      nd.cut_costs.clear();
+
+      // Merge fanin cut sets (each fanin contributes its kept cuts plus its
+      // trivial cut).
+      auto fanin_cuts = [&](mig::Signal s) {
+        std::vector<Cut> list;
+        const uint32_t f = s.index();
+        if (mig.is_constant(f)) {
+          list.push_back(Cut{});  // empty cut: constant inputs are free
+          return list;
+        }
+        Cut trivial;
+        trivial.size = 1;
+        trivial.leaves[0] = f;
+        trivial.signature = Cut::hash_leaf(f);
+        list.push_back(trivial);
+        for (const auto& cc : data[f].cut_costs) list.push_back(cc.cut);
+        return list;
+      };
+      const auto& f = mig.fanins(v);
+      const auto set0 = fanin_cuts(f[0]);
+      const auto set1 = fanin_cuts(f[1]);
+      const auto set2 = fanin_cuts(f[2]);
+
+      auto evaluate = [&](const Cut& cut) {
+        CutCost cc;
+        cc.cut = cut;
+        uint32_t arrival = 0;
+        double flow = 1.0;
+        for (uint8_t i = 0; i < cut.size; ++i) {
+          const uint32_t leaf = cut.leaves[i];
+          arrival = std::max(arrival, mig.is_gate(leaf) ? data[leaf].arrival + 1 : 1);
+          if (mig.is_gate(leaf)) {
+            flow += data[leaf].area_flow / refs(leaf);
+          }
+        }
+        cc.arrival = arrival;
+        cc.area_flow = flow;
+        return cc;
+      };
+
+      Cut ab;
+      Cut abc;
+      for (const Cut& c0 : set0) {
+        for (const Cut& c1 : set1) {
+          if (!cuts::merge_cuts(c0, c1, params.lut_size, ab)) continue;
+          for (const Cut& c2 : set2) {
+            if (!cuts::merge_cuts(ab, c2, params.lut_size, abc)) continue;
+            bool duplicate = false;
+            for (const auto& existing : nd.cut_costs) {
+              if (existing.cut == abc) {
+                duplicate = true;
+                break;
+              }
+            }
+            if (!duplicate) nd.cut_costs.push_back(evaluate(abc));
+          }
+        }
+      }
+
+      // Rank cuts for this pass; in area mode, cuts violating the required
+      // time are pushed to the back.  Nodes outside the previous cover have
+      // no propagated requirement; they are capped at their previous arrival
+      // so that a later pass can still choose them as leaves without
+      // degrading the mapping depth.
+      const uint32_t req =
+          !have_required
+              ? std::numeric_limits<uint32_t>::max()
+              : (required[v] == std::numeric_limits<uint32_t>::max() ? prev_arrival[v]
+                                                                     : required[v]);
+      std::sort(nd.cut_costs.begin(), nd.cut_costs.end(),
+                [&](const CutCost& a, const CutCost& b) {
+                  if (area_mode) {
+                    const bool a_ok = a.arrival <= req;
+                    const bool b_ok = b.arrival <= req;
+                    if (a_ok != b_ok) return a_ok;
+                    if (a.area_flow != b.area_flow) return a.area_flow < b.area_flow;
+                    return a.arrival < b.arrival;
+                  }
+                  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                  return a.area_flow < b.area_flow;
+                });
+      if (nd.cut_costs.size() > params.cut_limit) {
+        nd.cut_costs.resize(params.cut_limit);
+      }
+      nd.best = 0;
+      nd.arrival = nd.cut_costs.front().arrival;
+      nd.area_flow = nd.cut_costs.front().area_flow;
+    }
+
+    // Compute the mapping depth and required times for the next pass.
+    for (uint32_t v = 0; v < n; ++v) {
+      prev_arrival[v] = data[v].arrival;
+    }
+    target_depth = 0;
+    for (const mig::Signal o : mig.outputs()) {
+      if (mig.is_gate(o.index())) target_depth = std::max(target_depth, data[o.index()].arrival);
+    }
+    required.assign(n, std::numeric_limits<uint32_t>::max());
+    for (const mig::Signal o : mig.outputs()) {
+      if (mig.is_gate(o.index())) required[o.index()] = target_depth;
+    }
+    for (uint32_t v = n; v-- > 0;) {
+      if (!mig.is_gate(v) || required[v] == std::numeric_limits<uint32_t>::max()) continue;
+      const auto& cut = data[v].cut_costs[data[v].best].cut;
+      for (uint8_t i = 0; i < cut.size; ++i) {
+        const uint32_t leaf = cut.leaves[i];
+        if (!mig.is_gate(leaf)) continue;
+        required[leaf] = std::min(required[leaf], required[v] - 1);
+      }
+    }
+    have_required = true;
+
+    const MappingResult cover = extract_cover();
+    if (!have_best || cover.depth < best.depth ||
+        (cover.depth == best.depth && cover.num_luts < best.num_luts)) {
+      best = cover;
+      have_best = true;
+    }
+  }
+
+  return best;
+}
+
+}  // namespace mighty::map

@@ -1,0 +1,161 @@
+#include <algorithm>
+#include <array>
+
+#include "mig/algebra/algebra.hpp"
+
+/// Critical-path depth reduction.  The network is rebuilt in topological
+/// order; for every gate whose deepest fanin dominates the other two, the
+/// associativity and distributivity axioms are applied to pull the critical
+/// signal closer to the output (the move set of ref. [3]).
+
+namespace mighty::algebra {
+
+namespace {
+
+/// View of a (possibly complemented) fanin as a gate with polarity pushed
+/// into its children (Omega.I): s = <f0 f1 f2> or !<f0 f1 f2>.
+struct GateView {
+  bool is_gate = false;
+  std::array<mig::Signal, 3> fanin;
+};
+
+GateView view_as_gate(const mig::Mig& m, mig::Signal s) {
+  GateView v;
+  if (!m.is_gate(s.index())) return v;
+  v.is_gate = true;
+  const auto& f = m.fanins(s.index());
+  for (int i = 0; i < 3; ++i) {
+    v.fanin[static_cast<size_t>(i)] =
+        s.is_complemented() ? !f[static_cast<size_t>(i)] : f[static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace
+
+mig::Mig depth_optimize(const mig::Mig& m, const DepthOptParams& params,
+                        AlgebraStats* stats) {
+  AlgebraStats local;
+  local.size_before = m.count_live_gates();
+  local.depth_before = m.depth();
+
+  mig::Mig source = m.cleanup();
+  const auto size_budget =
+      static_cast<uint64_t>(static_cast<double>(source.count_live_gates()) *
+                            params.max_growth);
+  for (uint32_t round = 0; round < params.max_rounds; ++round) {
+    ++local.rounds;
+    // Duplicating moves (distributivity, and associativity on multi-fanout
+    // grandchildren) are allowed only while the network stays inside the
+    // budget; this is checked both across rounds and within the rebuild.
+    const bool round_may_grow = source.count_live_gates() < size_budget;
+    mig::Mig next;
+    LevelTracker tracker(next);
+    std::vector<mig::Signal> map(source.num_nodes(), next.get_constant(false));
+    for (uint32_t i = 0; i < source.num_pis(); ++i) map[1 + i] = next.create_pi();
+
+    bool changed = false;
+    for (uint32_t n = 0; n < source.num_nodes(); ++n) {
+      if (!source.is_gate(n)) continue;
+      const auto& f = source.fanins(n);
+      std::array<mig::Signal, 3> in;
+      for (int i = 0; i < 3; ++i) {
+        const auto& s = f[static_cast<size_t>(i)];
+        in[static_cast<size_t>(i)] = map[s.index()] ^ s.is_complemented();
+      }
+      // Order the mapped fanins so in[2] is the deepest.
+      std::sort(in.begin(), in.end(), [&](mig::Signal a, mig::Signal b) {
+        return tracker.level(a) < tracker.level(b);
+      });
+      const mig::Signal x = in[0];
+      const mig::Signal y = in[1];
+      const mig::Signal z = in[2];
+      const uint32_t lx = tracker.level(x);
+      const uint32_t ly = tracker.level(y);
+      const uint32_t lz = tracker.level(z);
+
+      mig::Signal result;
+      bool rewritten = false;
+      const GateView g = view_as_gate(next, z);
+      const bool may_grow = round_may_grow && next.num_gates() < size_budget;
+      if (g.is_gate && lz > ly && may_grow) {
+        // Find the deepest grandchild w and the others (u, v).
+        std::array<mig::Signal, 3> gc = g.fanin;
+        std::sort(gc.begin(), gc.end(), [&](mig::Signal a, mig::Signal b) {
+          return tracker.level(a) < tracker.level(b);
+        });
+        const mig::Signal u = gc[0];
+        const mig::Signal v = gc[1];
+        const mig::Signal w = gc[2];
+
+        // Omega.A: <xu<yuz'>>: if z shares an operand with {x, y}, swap the
+        // shallow top operand with the deep grandchild.
+        // Case u' == x or v' == x (common operand x): <yx<..x..w>> -> swap y/w.
+        for (const mig::Signal common : {x, y}) {
+          const mig::Signal other = common == x ? y : x;
+          if ((u == common || v == common) && tracker.level(w) > tracker.level(other)) {
+            const mig::Signal third = (u == common) ? v : u;
+            // <other common <third common w>> = <w common <third common other>>
+            const mig::Signal inner = tracker.maj(third, common, other);
+            result = tracker.maj(w, common, inner);
+            rewritten = true;
+            ++local.applied_associativity;
+            break;
+          }
+        }
+        // Psi.C complementary associativity: common operand in opposite
+        // polarity: <xu<y!uz>> = <xu<yxz>>.
+        if (!rewritten) {
+          for (const mig::Signal common : {x, y}) {
+            const mig::Signal other = common == x ? y : x;
+            if ((u == !common || v == !common) &&
+                tracker.level(w) > tracker.level(other)) {
+              const mig::Signal third = (u == !common) ? v : u;
+              // Psi.C replaces the complemented shared operand by the other
+              // top operand, after which Omega.A hoists the deep grandchild:
+              // <other common <third !common w>> = <other common <third other w>>
+              //                                 = <w other <third other common>>.
+              const mig::Signal inner = tracker.maj(third, other, common);
+              result = tracker.maj(w, other, inner);
+              ++local.applied_complementary;
+              rewritten = true;
+              break;
+            }
+          }
+        }
+        // Omega.D distributivity (left-to-right): <xy<uvw>> =
+        // <<xyu><xyv>w>, profitable when w towers over x and y.
+        if (!rewritten && tracker.level(w) >= std::max(lx, ly) +
+                                                  params.distributivity_threshold) {
+          const mig::Signal left = tracker.maj(x, y, u);
+          const mig::Signal right = tracker.maj(x, y, v);
+          result = tracker.maj(left, right, w);
+          ++local.applied_distributivity;
+          rewritten = true;
+        }
+      }
+      if (!rewritten) {
+        result = tracker.maj(x, y, z);
+      } else {
+        changed = true;
+      }
+      map[n] = result;
+    }
+    for (const mig::Signal o : source.outputs()) {
+      next.create_po(map[o.index()] ^ o.is_complemented());
+    }
+    next = next.cleanup();
+    if (!changed || next.depth() >= source.depth()) {
+      if (next.depth() < source.depth()) source = std::move(next);
+      break;
+    }
+    source = std::move(next);
+  }
+
+  local.size_after = source.count_live_gates();
+  local.depth_after = source.depth();
+  if (stats != nullptr) *stats = local;
+  return source;
+}
+
+}  // namespace mighty::algebra

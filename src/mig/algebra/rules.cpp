@@ -1,0 +1,44 @@
+#include "mig/algebra/algebra.hpp"
+
+namespace mighty::algebra {
+
+LevelTracker::LevelTracker(mig::Mig& m) : mig_(m) { refresh(); }
+
+void LevelTracker::refresh() {
+  const uint32_t old_size = static_cast<uint32_t>(levels_.size());
+  levels_.resize(mig_.num_nodes(), 0);
+  for (uint32_t n = old_size; n < mig_.num_nodes(); ++n) {
+    if (!mig_.is_gate(n)) {
+      levels_[n] = 0;
+      continue;
+    }
+    uint32_t max_level = 0;
+    for (const mig::Signal s : mig_.fanins(n)) {
+      max_level = std::max(max_level, levels_[s.index()]);
+    }
+    levels_[n] = max_level + 1;
+  }
+}
+
+mig::Signal LevelTracker::maj(mig::Signal a, mig::Signal b, mig::Signal c) {
+  const mig::Signal s = mig_.create_maj(a, b, c);
+  refresh();
+  return s;
+}
+
+mig::Mig baseline_optimize(const mig::Mig& m, AlgebraStats* stats) {
+  AlgebraStats local;
+  local.size_before = m.count_live_gates();
+  local.depth_before = m.depth();
+
+  mig::Mig current = depth_optimize(m);
+  current = size_optimize(current);
+  current = depth_optimize(current);
+
+  local.size_after = current.count_live_gates();
+  local.depth_after = current.depth();
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace mighty::algebra

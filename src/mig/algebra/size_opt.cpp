@@ -1,0 +1,130 @@
+#include <algorithm>
+#include <array>
+
+#include "mig/algebra/algebra.hpp"
+
+/// Algebraic size reduction: reverse distributivity
+/// <<xyu><xyv>z> -> <xy<uvz>> (one gate saved when the pair shares two
+/// operands and the shared gates have no other fanout), plus the built-in
+/// majority simplifications of create_maj.
+
+namespace mighty::algebra {
+
+namespace {
+
+struct GateView {
+  bool is_gate = false;
+  std::array<mig::Signal, 3> fanin;
+};
+
+GateView view_as_gate(const mig::Mig& m, mig::Signal s) {
+  GateView v;
+  if (!m.is_gate(s.index())) return v;
+  v.is_gate = true;
+  const auto& f = m.fanins(s.index());
+  for (int i = 0; i < 3; ++i) {
+    v.fanin[static_cast<size_t>(i)] =
+        s.is_complemented() ? !f[static_cast<size_t>(i)] : f[static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace
+
+mig::Mig size_optimize(const mig::Mig& m, const SizeOptParams& params,
+                       AlgebraStats* stats) {
+  AlgebraStats local;
+  local.size_before = m.count_live_gates();
+  local.depth_before = m.depth();
+
+  mig::Mig source = m.cleanup();
+  for (uint32_t round = 0; round < params.max_rounds; ++round) {
+    ++local.rounds;
+    mig::Mig next;
+    std::vector<mig::Signal> map(source.num_nodes(), next.get_constant(false));
+    for (uint32_t i = 0; i < source.num_pis(); ++i) map[1 + i] = next.create_pi();
+    const auto fanout = source.compute_fanout_counts();
+
+    bool changed = false;
+    for (uint32_t n = 0; n < source.num_nodes(); ++n) {
+      if (!source.is_gate(n)) continue;
+      const auto& f = source.fanins(n);
+      std::array<mig::Signal, 3> in;
+      std::array<uint32_t, 3> old_fanout{};
+      for (int i = 0; i < 3; ++i) {
+        const auto& s = f[static_cast<size_t>(i)];
+        in[static_cast<size_t>(i)] = map[s.index()] ^ s.is_complemented();
+        old_fanout[static_cast<size_t>(i)] = fanout[s.index()];
+      }
+
+      mig::Signal result;
+      bool rewritten = false;
+      // Try every pair of fanins as the shared-gate pair (A, B).
+      for (int i = 0; i < 3 && !rewritten; ++i) {
+        for (int j = i + 1; j < 3 && !rewritten; ++j) {
+          const int k = 3 - i - j;
+          const GateView a = view_as_gate(next, in[static_cast<size_t>(i)]);
+          const GateView b = view_as_gate(next, in[static_cast<size_t>(j)]);
+          if (!a.is_gate || !b.is_gate) continue;
+          // Only profitable when both shared gates die afterwards.
+          if (old_fanout[static_cast<size_t>(i)] > 1 ||
+              old_fanout[static_cast<size_t>(j)] > 1) {
+            continue;
+          }
+          // Find two common operands x, y of A and B.
+          std::vector<mig::Signal> common;
+          std::vector<mig::Signal> a_rest, b_rest;
+          std::array<bool, 3> b_used{};
+          for (const mig::Signal sa : a.fanin) {
+            bool matched = false;
+            for (int t = 0; t < 3; ++t) {
+              if (!b_used[static_cast<size_t>(t)] &&
+                  b.fanin[static_cast<size_t>(t)] == sa) {
+                b_used[static_cast<size_t>(t)] = true;
+                common.push_back(sa);
+                matched = true;
+                break;
+              }
+            }
+            if (!matched) a_rest.push_back(sa);
+          }
+          for (int t = 0; t < 3; ++t) {
+            if (!b_used[static_cast<size_t>(t)]) {
+              b_rest.push_back(b.fanin[static_cast<size_t>(t)]);
+            }
+          }
+          if (common.size() == 2 && a_rest.size() == 1 && b_rest.size() == 1) {
+            // <<xyu><xyv>z> = <xy<uvz>>
+            const mig::Signal inner =
+                next.create_maj(a_rest[0], b_rest[0], in[static_cast<size_t>(k)]);
+            result = next.create_maj(common[0], common[1], inner);
+            rewritten = true;
+            ++local.applied_distributivity;
+          }
+        }
+      }
+      if (!rewritten) {
+        result = next.create_maj(in[0], in[1], in[2]);
+      } else {
+        changed = true;
+      }
+      map[n] = result;
+    }
+    for (const mig::Signal o : source.outputs()) {
+      next.create_po(map[o.index()] ^ o.is_complemented());
+    }
+    next = next.cleanup();
+    if (!changed || next.count_live_gates() >= source.count_live_gates()) {
+      if (next.count_live_gates() < source.count_live_gates()) source = std::move(next);
+      break;
+    }
+    source = std::move(next);
+  }
+
+  local.size_after = source.count_live_gates();
+  local.depth_after = source.depth();
+  if (stats != nullptr) *stats = local;
+  return source;
+}
+
+}  // namespace mighty::algebra

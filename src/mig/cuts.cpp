@@ -1,0 +1,113 @@
+#include "mig/cuts.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mighty::cuts {
+
+bool Cut::subset_of(const Cut& other) const {
+  if (size > other.size) return false;
+  if ((signature & ~other.signature) != 0) return false;
+  uint8_t j = 0;
+  for (uint8_t i = 0; i < size; ++i) {
+    while (j < other.size && other.leaves[j] < leaves[i]) ++j;
+    if (j == other.size || other.leaves[j] != leaves[i]) return false;
+  }
+  return true;
+}
+
+bool merge_cuts(const Cut& a, const Cut& b, uint32_t k, Cut& out) {
+  out.size = 0;
+  out.signature = a.signature | b.signature;
+  uint8_t i = 0;
+  uint8_t j = 0;
+  while (i < a.size || j < b.size) {
+    uint32_t next;
+    if (j == b.size || (i < a.size && a.leaves[i] <= b.leaves[j])) {
+      if (i < a.size && j < b.size && a.leaves[i] == b.leaves[j]) ++j;
+      next = a.leaves[i++];
+    } else {
+      next = b.leaves[j++];
+    }
+    if (out.size == k) return false;
+    out.leaves[out.size++] = next;
+  }
+  return true;
+}
+
+namespace {
+
+/// Inserts `cut` into `set` unless dominated; removes cuts it dominates.
+void insert_cut(std::vector<Cut>& set, const Cut& cut, uint32_t max_cuts) {
+  for (const Cut& existing : set) {
+    if (existing.subset_of(cut)) return;  // dominated (or duplicate)
+  }
+  std::erase_if(set, [&](const Cut& existing) { return cut.subset_of(existing); });
+  if (max_cuts != 0 && set.size() >= max_cuts) return;
+  set.push_back(cut);
+}
+
+Cut trivial_cut(uint32_t node) {
+  Cut c;
+  c.size = 1;
+  c.leaves[0] = node;
+  c.signature = Cut::hash_leaf(node);
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::vector<Cut>> enumerate_cuts(const mig::Mig& mig,
+                                             const CutEnumerationParams& params) {
+  assert(params.cut_size <= Cut::max_size);
+  const uint32_t k = params.cut_size;
+  std::vector<std::vector<Cut>> sets(mig.num_nodes());
+
+  // The constant node contributes the empty cut, so that paths to it are
+  // exempt from the covering requirement.
+  sets[mig::Mig::constant_node] = {Cut{}};
+
+  const std::vector<Cut> empty_fallback;
+  for (uint32_t n = 1; n < mig.num_nodes(); ++n) {
+    if (mig.is_pi(n)) {
+      sets[n] = {trivial_cut(n)};
+      continue;
+    }
+    auto fanin_set = [&](mig::Signal s) -> std::vector<Cut> {
+      const uint32_t f = s.index();
+      const bool forced_leaf =
+          params.boundary != nullptr && f < params.boundary->size() && (*params.boundary)[f];
+      if (forced_leaf && !mig.is_constant(f)) return {trivial_cut(f)};
+      return sets[f];
+    };
+    const auto& f = mig.fanins(n);
+    const auto set0 = fanin_set(f[0]);
+    const auto set1 = fanin_set(f[1]);
+    const auto set2 = fanin_set(f[2]);
+
+    std::vector<Cut>& out = sets[n];
+    Cut ab;
+    Cut abc;
+    for (const Cut& c0 : set0) {
+      for (const Cut& c1 : set1) {
+        if (!merge_cuts(c0, c1, k, ab)) continue;
+        for (const Cut& c2 : set2) {
+          if (!merge_cuts(ab, c2, k, abc)) continue;
+          insert_cut(out, abc, params.max_cuts);
+        }
+      }
+    }
+    if (params.include_trivial) {
+      insert_cut(out, trivial_cut(n), /*max_cuts=*/0);
+    }
+  }
+  return sets;
+}
+
+uint64_t total_cut_count(const std::vector<std::vector<Cut>>& cut_sets) {
+  uint64_t total = 0;
+  for (const auto& set : cut_sets) total += set.size();
+  return total;
+}
+
+}  // namespace mighty::cuts

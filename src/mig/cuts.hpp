@@ -1,0 +1,72 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+/// \file cuts.hpp
+/// \brief k-feasible cut enumeration (paper Sec. II-C).
+///
+/// For a node v, a cut (v, L) is a set of leaves such that every path from v
+/// to a terminal visits a leaf (paths to the constant node are exempt).  All
+/// k-feasible cuts are generated bottom-up through the saturating union
+/// `cuts(g1) (x)k cuts(g2) (x)k cuts(g3)`; the paper notes exhaustive
+/// enumeration is feasible for k <= 6.  The optimizer uses k = 4.
+
+namespace mighty::cuts {
+
+/// A cut: sorted leaf node indices plus a Bloom signature for fast
+/// subset/overflow tests.
+struct Cut {
+  static constexpr uint32_t max_size = 6;
+
+  std::array<uint32_t, max_size> leaves{};
+  uint8_t size = 0;
+  uint64_t signature = 0;
+
+  bool operator==(const Cut& other) const {
+    if (size != other.size) return false;
+    for (uint8_t i = 0; i < size; ++i) {
+      if (leaves[i] != other.leaves[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff this cut's leaves are a subset of `other`'s (=> dominates it).
+  bool subset_of(const Cut& other) const;
+
+  /// The leaves as a vector (for interfacing with simulate_cut).
+  std::vector<uint32_t> leaf_vector() const {
+    return std::vector<uint32_t>(leaves.begin(), leaves.begin() + size);
+  }
+
+  static uint64_t hash_leaf(uint32_t leaf) { return uint64_t{1} << (leaf % 64); }
+};
+
+/// Merges two sorted cuts; returns false if the union exceeds `k` leaves.
+bool merge_cuts(const Cut& a, const Cut& b, uint32_t k, Cut& out);
+
+struct CutEnumerationParams {
+  uint32_t cut_size = 4;
+  /// Maximum cuts stored per node (0 = exhaustive).
+  uint32_t max_cuts = 0;
+  /// Include the trivial cut {v} in each gate's set (needed when cut sets are
+  /// merged upward; the optimizer skips trivial cuts at replacement time).
+  bool include_trivial = true;
+  /// Optional mask of nodes that must not appear as cut-internal nodes: when
+  /// such a node feeds a gate, only its trivial cut propagates upward.  Used
+  /// to confine cuts to fanout-free regions (paper Sec. IV-C).
+  const std::vector<bool>* boundary = nullptr;
+};
+
+/// Per-node cut sets, indexed by node id.  The constant node has the single
+/// empty cut; PIs have their trivial cut.
+std::vector<std::vector<Cut>> enumerate_cuts(const mig::Mig& mig,
+                                             const CutEnumerationParams& params = {});
+
+/// Total number of cuts across all nodes (reporting helper).
+uint64_t total_cut_count(const std::vector<std::vector<Cut>>& cut_sets);
+
+}  // namespace mighty::cuts

@@ -1,0 +1,60 @@
+#include "mig/ffr.hpp"
+
+namespace mighty::ffr {
+
+FfrPartition compute_ffrs(const mig::Mig& mig) {
+  const uint32_t n = mig.num_nodes();
+  FfrPartition p;
+  p.region_root.resize(n);
+  p.is_root.assign(n, false);
+
+  const auto fanout = mig.compute_fanout_counts();
+
+  // Drivers of primary outputs are always roots, as are multi-fanout gates.
+  std::vector<bool> drives_po(n, false);
+  for (const mig::Signal s : mig.outputs()) drives_po[s.index()] = true;
+
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!mig.is_gate(i)) {
+      p.region_root[i] = i;
+      continue;
+    }
+    p.is_root[i] = drives_po[i] || fanout[i] != 1;
+  }
+
+  // Single-fanout gates inherit the region of their unique parent.  Since a
+  // child's unique parent has a larger index (nodes are topologically
+  // ordered), a reverse sweep resolves every region in one pass once parents
+  // are known.
+  std::vector<uint32_t> parent(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!mig.is_gate(i)) continue;
+    for (const mig::Signal s : mig.fanins(i)) parent[s.index()] = i;
+  }
+  for (uint32_t i = n; i-- > 0;) {
+    if (!mig.is_gate(i)) continue;
+    if (p.is_root[i]) {
+      p.region_root[i] = i;
+    } else if (fanout[i] == 0) {
+      // Dangling gate: its own (degenerate) region.
+      p.region_root[i] = i;
+      p.is_root[i] = true;
+    } else {
+      p.region_root[i] = p.region_root[parent[i]];
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    if (mig.is_gate(i) && p.is_root[i]) p.roots.push_back(i);
+  }
+  return p;
+}
+
+std::vector<bool> ffr_boundary(const FfrPartition& partition) {
+  std::vector<bool> boundary(partition.is_root.size(), false);
+  for (uint32_t i = 0; i < partition.is_root.size(); ++i) {
+    boundary[i] = partition.is_root[i];
+  }
+  return boundary;
+}
+
+}  // namespace mighty::ffr

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+/// \file ffr.hpp
+/// \brief Fanout-free regions (paper Sec. IV-C).
+///
+/// A fanout-free region (FFR) is a maximal connected subgraph in which every
+/// internal node has exactly one fanout, rooted at a node that has multiple
+/// fanouts or drives a primary output.  Partitioning the MIG into FFRs before
+/// functional hashing both speeds the algorithm up and avoids undoing the
+/// sharing introduced by structural hashing.
+
+namespace mighty::ffr {
+
+struct FfrPartition {
+  /// For every node, the root of its fanout-free region (roots map to
+  /// themselves; terminals map to themselves).
+  std::vector<uint32_t> region_root;
+  /// True for nodes that are FFR roots (multi-fanout gates and PO drivers).
+  std::vector<bool> is_root;
+  /// The roots in topological order.
+  std::vector<uint32_t> roots;
+};
+
+/// Computes the FFR partition of the network.
+FfrPartition compute_ffrs(const mig::Mig& mig);
+
+/// A boundary mask for cut enumeration: true for every node that must not be
+/// a cut-internal node (all FFR roots).  Terminals are included for
+/// uniformity; the enumerator already treats them as leaves.
+std::vector<bool> ffr_boundary(const FfrPartition& partition);
+
+}  // namespace mighty::ffr

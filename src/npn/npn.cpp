@@ -1,0 +1,128 @@
+#include "npn/npn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mighty::npn {
+
+tt::TruthTable apply(const tt::TruthTable& f, const Transform& t) {
+  assert(f.num_vars() == t.num_vars);
+  tt::TruthTable g = f;
+  for (uint32_t v = 0; v < f.num_vars(); ++v) {
+    if ((t.input_negations >> v) & 1) g = g.flip(v);
+  }
+  g = g.permute(t.perm);
+  if (t.output_negation) g = ~g;
+  return g;
+}
+
+Transform inverse(const Transform& t) {
+  Transform r;
+  r.num_vars = t.num_vars;
+  r.output_negation = t.output_negation;
+  r.input_negations = 0;
+  for (uint32_t i = 0; i < t.num_vars; ++i) {
+    // t.perm maps original variable i to result variable t.perm[i]; the
+    // inverse permutation maps it back.
+    r.perm[t.perm[i]] = static_cast<uint8_t>(i);
+    if ((t.input_negations >> i) & 1) {
+      r.input_negations = static_cast<uint8_t>(r.input_negations | (1u << t.perm[i]));
+    }
+  }
+  for (uint32_t i = t.num_vars; i < tt::TruthTable::max_vars; ++i) {
+    r.perm[i] = static_cast<uint8_t>(i);
+  }
+  // Derivation: h(x) = f(x_{p(i)} ^ n_i) ^ o.  Solving for f gives
+  // f(u) = h(u_{p^{-1}(j)} ^ n_{p^{-1}(j)}) ^ o, i.e. the inverse permutation
+  // with negations carried to the permuted positions and the same output
+  // negation.
+  return r;
+}
+
+std::vector<std::array<uint8_t, tt::TruthTable::max_vars>> all_permutations(uint32_t n) {
+  std::array<uint8_t, tt::TruthTable::max_vars> base{0, 1, 2, 3, 4, 5};
+  std::vector<std::array<uint8_t, tt::TruthTable::max_vars>> result;
+  std::array<uint8_t, tt::TruthTable::max_vars> p = base;
+  do {
+    result.push_back(p);
+  } while (std::next_permutation(p.begin(), p.begin() + n));
+  return result;
+}
+
+CanonResult canonize(const tt::TruthTable& f) {
+  const uint32_t n = f.num_vars();
+  assert(n <= 4);
+  const auto perms = all_permutations(n);
+
+  CanonResult best;
+  bool have_best = false;
+  Transform t;
+  t.num_vars = static_cast<uint8_t>(n);
+  for (const auto& perm : perms) {
+    t.perm = perm;
+    for (uint32_t neg = 0; neg < (1u << n); ++neg) {
+      t.input_negations = static_cast<uint8_t>(neg);
+      for (uint32_t out = 0; out < 2; ++out) {
+        t.output_negation = out != 0;
+        tt::TruthTable candidate = apply(f, t);
+        if (!have_best || candidate < best.representative) {
+          best.representative = candidate;
+          best.transform = t;
+          have_best = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+uint64_t orbit_size(const tt::TruthTable& f) {
+  const uint32_t n = f.num_vars();
+  assert(n <= 4);
+  std::vector<uint64_t> seen;
+  Transform t;
+  t.num_vars = static_cast<uint8_t>(n);
+  for (const auto& perm : all_permutations(n)) {
+    t.perm = perm;
+    for (uint32_t neg = 0; neg < (1u << n); ++neg) {
+      t.input_negations = static_cast<uint8_t>(neg);
+      for (uint32_t out = 0; out < 2; ++out) {
+        t.output_negation = out != 0;
+        seen.push_back(apply(f, t).bits());
+      }
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  return static_cast<uint64_t>(std::unique(seen.begin(), seen.end()) - seen.begin());
+}
+
+std::vector<tt::TruthTable> enumerate_classes(uint32_t num_vars) {
+  assert(num_vars <= 4);
+  const uint64_t total = uint64_t{1} << (uint64_t{1} << num_vars);
+  std::vector<bool> seen(total, false);
+  std::vector<tt::TruthTable> reps;
+
+  const auto perms = all_permutations(num_vars);
+  Transform t;
+  t.num_vars = static_cast<uint8_t>(num_vars);
+
+  for (uint64_t bits = 0; bits < total; ++bits) {
+    if (seen[bits]) continue;
+    const tt::TruthTable f(num_vars, bits);
+    reps.push_back(f);  // first unseen function is numerically smallest in its orbit
+    for (const auto& perm : perms) {
+      t.perm = perm;
+      for (uint32_t neg = 0; neg < (1u << num_vars); ++neg) {
+        t.input_negations = static_cast<uint8_t>(neg);
+        for (uint32_t out = 0; out < 2; ++out) {
+          t.output_negation = out != 0;
+          seen[apply(f, t).bits()] = true;
+        }
+      }
+    }
+  }
+  return reps;
+}
+
+}  // namespace mighty::npn

@@ -1,0 +1,157 @@
+#include <algorithm>
+
+#include "mig/ffr.hpp"
+#include "mig/simulation.hpp"
+#include "opt/oracle.hpp"
+#include "opt/rewrite.hpp"
+
+/// Bottom-up functional hashing (paper Algorithm 2): dynamic programming in
+/// topological order.  For every node a bounded list of candidate
+/// implementations in the new network is maintained; cuts are replaced by
+/// database minima over every (capped) combination of leaf candidates, and
+/// each output finally picks its best candidate.
+
+namespace mighty::opt {
+
+namespace {
+
+struct Candidate {
+  mig::Signal sig;
+  uint32_t size = 0;   ///< accumulated-new-gates estimate (tree accounting)
+  uint32_t depth = 0;  ///< estimated level in the new network
+};
+
+/// Keeps the candidate list sorted by (size, depth) and bounded.
+void insert_candidate(std::vector<Candidate>& list, const Candidate& c,
+                      uint32_t max_candidates) {
+  for (auto& existing : list) {
+    if (existing.sig == c.sig) {
+      // Same implementation reached twice: keep the better accounting.
+      if (c.size < existing.size || (c.size == existing.size && c.depth < existing.depth)) {
+        existing.size = c.size;
+        existing.depth = c.depth;
+      }
+      std::sort(list.begin(), list.end(), [](const Candidate& a, const Candidate& b) {
+        return a.size != b.size ? a.size < b.size : a.depth < b.depth;
+      });
+      return;
+    }
+  }
+  list.push_back(c);
+  std::sort(list.begin(), list.end(), [](const Candidate& a, const Candidate& b) {
+    return a.size != b.size ? a.size < b.size : a.depth < b.depth;
+  });
+  if (list.size() > max_candidates) list.resize(max_candidates);
+}
+
+}  // namespace
+
+mig::Mig rewrite_bottom_up(const mig::Mig& mig, const exact::Database& db,
+                           const RewriteParams& params, RewriteStats& stats) {
+  OracleParams oracle_params;
+  oracle_params.enable_five_input = params.five_input_cuts;
+  oracle_params.synthesis_conflict_limit = params.synthesis_conflict_limit;
+  ReplacementOracle oracle(db, oracle_params);
+
+  cuts::CutEnumerationParams cut_params;
+  cut_params.cut_size =
+      params.five_input_cuts ? std::max(params.cut_size, 5u) : params.cut_size;
+  cut_params.max_cuts = params.max_cuts;
+  std::vector<bool> boundary;
+  ffr::FfrPartition partition;
+  if (params.ffr_partition) {
+    partition = ffr::compute_ffrs(mig);
+    boundary = ffr::ffr_boundary(partition);
+    cut_params.boundary = &boundary;
+  }
+  const auto cut_sets = cuts::enumerate_cuts(mig, cut_params);
+  const auto levels = mig.compute_levels();
+
+  mig::Mig result;
+  std::vector<std::vector<Candidate>> cand(mig.num_nodes());
+  cand[mig::Mig::constant_node] = {{result.get_constant(false), 0, 0}};
+  for (uint32_t i = 0; i < mig.num_pis(); ++i) {
+    cand[1 + i] = {{result.create_pi(), 0, 0}};
+  }
+
+  const auto live = mig.live_mask();
+  for (uint32_t v = 0; v < mig.num_nodes(); ++v) {
+    if (!mig.is_gate(v) || !live[v]) continue;
+    auto& list = cand[v];
+
+    // Baseline candidate: rebuild the node over its fanins' best candidates.
+    {
+      const auto& f = mig.fanins(v);
+      const Candidate& c0 = cand[f[0].index()].front();
+      const Candidate& c1 = cand[f[1].index()].front();
+      const Candidate& c2 = cand[f[2].index()].front();
+      Candidate base;
+      base.sig = result.create_maj(c0.sig ^ f[0].is_complemented(),
+                                   c1.sig ^ f[1].is_complemented(),
+                                   c2.sig ^ f[2].is_complemented());
+      base.size = 1 + c0.size + c1.size + c2.size;
+      base.depth = 1 + std::max({c0.depth, c1.depth, c2.depth});
+      insert_candidate(list, base, params.max_candidates);
+    }
+
+    for (const auto& cut : cut_sets[v]) {
+      if (cut.size == 1 && cut.leaves[0] == v) continue;
+      const auto leaves = cut.leaf_vector();
+      ++stats.cuts_evaluated;
+      const auto f = mig::simulate_cut(mig, v, leaves);
+      const auto info = oracle.query(f);
+      if (!info) continue;
+
+      // Iterate (capped) combinations of leaf candidates in mixed radix.
+      std::vector<uint32_t> radix(leaves.size());
+      uint64_t total = 1;
+      for (size_t i = 0; i < leaves.size(); ++i) {
+        radix[i] = static_cast<uint32_t>(cand[leaves[i]].size());
+        total *= radix[i];
+      }
+      total = std::min<uint64_t>(total, params.max_combinations);
+      for (uint64_t combo = 0; combo < total; ++combo) {
+        uint64_t rem = combo;
+        std::vector<const Candidate*> chosen(leaves.size());
+        std::vector<mig::Signal> leaf_signals(leaves.size());
+        uint32_t size = info->size;
+        for (size_t i = 0; i < leaves.size(); ++i) {
+          chosen[i] = &cand[leaves[i]][rem % radix[i]];
+          rem /= radix[i];
+          leaf_signals[i] = chosen[i]->sig;
+          size += chosen[i]->size;
+        }
+        // Depth estimate through the replacement's input-to-output paths.
+        uint32_t depth = 0;
+        for (size_t lv = 0; lv < leaves.size(); ++lv) {
+          if (info->input_depths[lv] < 0) continue;
+          depth = std::max(depth, chosen[lv]->depth +
+                                      static_cast<uint32_t>(info->input_depths[lv]));
+        }
+        if (params.depth_preserving && depth > levels[v] + params.depth_slack) {
+          continue;
+        }
+        Candidate c;
+        c.sig = oracle.instantiate(f, result, leaf_signals);
+        c.size = size;
+        c.depth = depth;
+        insert_candidate(list, c, params.max_candidates);
+        ++stats.replacements;
+      }
+    }
+
+    // At fanout-free-region roots (and multi-fanout nodes in general) commit
+    // to the single best implementation so downstream users share it.
+    if (params.ffr_partition && v < boundary.size() && boundary[v] && list.size() > 1) {
+      list.resize(1);
+    }
+  }
+
+  for (const mig::Signal o : mig.outputs()) {
+    const Candidate& best = cand[o.index()].front();
+    result.create_po(best.sig ^ o.is_complemented());
+  }
+  return result;
+}
+
+}  // namespace mighty::opt

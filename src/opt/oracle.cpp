@@ -1,0 +1,84 @@
+#include "opt/oracle.hpp"
+
+#include <stdexcept>
+
+#include "exact/exact_synthesis.hpp"
+#include "opt/rewrite.hpp"
+
+namespace mighty::opt {
+
+ReplacementOracle::ReplacementOracle(const exact::Database& db,
+                                     const OracleParams& params)
+    : db_(db), params_(params) {}
+
+const exact::MigChain* ReplacementOracle::five_input_chain(const tt::TruthTable& f5) {
+  const auto it = cache5_.find(f5.bits());
+  if (it != cache5_.end()) {
+    return it->second ? &*it->second : nullptr;
+  }
+  exact::SynthesisOptions options;
+  options.max_gates = params_.max_gates;
+  options.conflict_limit = params_.synthesis_conflict_limit;
+  const auto result = exact::synthesize_minimum_mig(f5, options);
+  ++synthesized_;
+  if (result.status == exact::SynthesisStatus::success) {
+    auto [pos, inserted] = cache5_.emplace(f5.bits(), result.chain);
+    (void)inserted;
+    return &*pos->second;
+  }
+  ++failures_;
+  cache5_.emplace(f5.bits(), std::nullopt);
+  return nullptr;
+}
+
+std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthTable& f) {
+  Info info;
+  info.input_depths.assign(f.num_vars(), -1);
+
+  if (f.support_size() <= 4) {
+    std::vector<uint32_t> old_vars;
+    const auto g = f.shrink_to_support(old_vars).extend(4);
+    const auto lookup = db_.lookup(g);
+    const auto inv = npn::inverse(lookup.transform);
+    const auto depths = chain_input_depths(lookup.entry->chain);
+    info.size = lookup.entry->chain.size();
+    info.depth = lookup.entry->chain.depth();
+    for (uint32_t i = 0; i < 4; ++i) {
+      if (depths[i] < 0) continue;
+      const uint32_t g_var = inv.perm[i];
+      if (g_var < old_vars.size()) {
+        info.input_depths[old_vars[g_var]] = depths[i];
+      }
+    }
+    return info;
+  }
+
+  if (!params_.enable_five_input || f.num_vars() > 5) return std::nullopt;
+  const auto* chain = five_input_chain(f.extend(5));
+  if (chain == nullptr) return std::nullopt;
+  info.size = chain->size();
+  info.depth = chain->depth();
+  const auto depths = chain_input_depths(*chain);
+  for (uint32_t v = 0; v < f.num_vars(); ++v) info.input_depths[v] = depths[v];
+  return info;
+}
+
+mig::Signal ReplacementOracle::instantiate(const tt::TruthTable& f, mig::Mig& mig,
+                                           const std::vector<mig::Signal>& leaves) {
+  if (f.support_size() <= 4) {
+    std::vector<uint32_t> old_vars;
+    const auto g = f.shrink_to_support(old_vars).extend(4);
+    std::vector<mig::Signal> mapped(4, mig.get_constant(false));
+    for (uint32_t i = 0; i < old_vars.size(); ++i) {
+      mapped[i] = leaves[old_vars[i]];
+    }
+    return db_.instantiate(g, mig, mapped);
+  }
+  const auto* chain = five_input_chain(f.extend(5));
+  if (chain == nullptr) {
+    throw std::logic_error("instantiate called without a successful query");
+  }
+  return chain->instantiate(mig, leaves);
+}
+
+}  // namespace mighty::opt

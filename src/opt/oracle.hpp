@@ -1,0 +1,73 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "exact/database.hpp"
+#include "mig/mig.hpp"
+#include "tt/truth_table.hpp"
+
+/// \file oracle.hpp
+/// \brief Uniform replacement oracle for the rewriting drivers.
+///
+/// Answers "what is the minimum MIG for this cut function, and how deep is
+/// each input in it?" for functions of up to five variables:
+///
+///  * support <= 4: the precomputed NPN database (exact minima, instant);
+///  * support == 5: on-demand bounded exact synthesis with a per-function
+///    cache.  The paper notes that enumerating all NPN classes beyond four
+///    variables is impractical and that 5-input rewriting works on a
+///    dynamically discovered subset (Sec. IV, ref. [9]); this oracle is that
+///    mechanism.  Synthesis is budgeted both in gate count (it only needs to
+///    beat the cut's cone) and in SAT conflicts; failures are cached as
+///    "no replacement".
+
+namespace mighty::opt {
+
+struct OracleParams {
+  /// Allow on-demand 5-input synthesis (otherwise only the 4-input database).
+  bool enable_five_input = false;
+  /// Conflict budget per synthesis decision problem.
+  int64_t synthesis_conflict_limit = 20000;
+  /// Gate bound for on-demand synthesis ("only useful if smaller than the
+  /// cone" is applied on top by the caller through max_gates).
+  uint32_t max_gates = 9;
+};
+
+class ReplacementOracle {
+public:
+  ReplacementOracle(const exact::Database& db, const OracleParams& params = {});
+
+  struct Info {
+    uint32_t size = 0;   ///< gates of the minimum (or best-known) realization
+    uint32_t depth = 0;  ///< its depth
+    /// Longest path from cut-function variable v to the output; -1 if unused.
+    std::vector<int> input_depths;
+  };
+
+  /// Returns the replacement structure for a cut function over at most five
+  /// variables (in cut-leaf order), or std::nullopt if no structure is known
+  /// within the budgets.
+  std::optional<Info> query(const tt::TruthTable& f);
+
+  /// Builds the replacement in `mig`; `leaves[v]` drives variable v of f.
+  /// Must only be called after a successful query for the same function.
+  mig::Signal instantiate(const tt::TruthTable& f, mig::Mig& mig,
+                          const std::vector<mig::Signal>& leaves);
+
+  /// Number of on-demand syntheses performed / failed (for reporting).
+  uint64_t synthesized_count() const { return synthesized_; }
+  uint64_t synthesis_failures() const { return failures_; }
+
+private:
+  const exact::MigChain* five_input_chain(const tt::TruthTable& f5);
+
+  const exact::Database& db_;
+  OracleParams params_;
+  std::unordered_map<uint64_t, std::optional<exact::MigChain>> cache5_;
+  uint64_t synthesized_ = 0;
+  uint64_t failures_ = 0;
+};
+
+}  // namespace mighty::opt

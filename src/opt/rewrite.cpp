@@ -1,0 +1,120 @@
+#include "opt/rewrite.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace mighty::opt {
+
+mig::Mig functional_hashing(const mig::Mig& mig, const exact::Database& db,
+                            const RewriteParams& params, RewriteStats* stats) {
+  RewriteStats local;
+  local.size_before = mig.count_live_gates();
+  local.depth_before = mig.depth();
+  const auto start = std::chrono::steady_clock::now();
+
+  mig::Mig result = params.direction == Direction::top_down
+                        ? rewrite_top_down(mig, db, params, local)
+                        : rewrite_bottom_up(mig, db, params, local);
+  result = result.cleanup();
+
+  local.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  local.size_after = result.count_live_gates();
+  local.depth_after = result.depth();
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+RewriteParams variant_params(const std::string& acronym) {
+  RewriteParams params;
+  for (const char c : acronym) {
+    switch (c) {
+      case 'T':
+        params.direction = Direction::top_down;
+        break;
+      case 'B':
+        params.direction = Direction::bottom_up;
+        break;
+      case 'F':
+        params.ffr_partition = true;
+        break;
+      case 'D':
+        params.depth_preserving = true;
+        break;
+      default:
+        throw std::invalid_argument("unknown variant acronym: " + acronym);
+    }
+  }
+  if (acronym.empty() || (acronym[0] != 'T' && acronym[0] != 'B')) {
+    throw std::invalid_argument("variant must start with T or B: " + acronym);
+  }
+  return params;
+}
+
+std::vector<std::string> all_variants() {
+  return {"TF", "T", "TFD", "TD", "B", "BF", "BD", "BFD"};
+}
+
+std::vector<uint32_t> cut_cone(const mig::Mig& mig, uint32_t root,
+                               const std::vector<uint32_t>& leaves) {
+  std::vector<uint32_t> cone;
+  std::vector<uint32_t> stack{root};
+  auto is_leaf = [&](uint32_t n) {
+    return std::find(leaves.begin(), leaves.end(), n) != leaves.end();
+  };
+  auto seen = [&](uint32_t n) {
+    return std::find(cone.begin(), cone.end(), n) != cone.end();
+  };
+  while (!stack.empty()) {
+    const uint32_t n = stack.back();
+    stack.pop_back();
+    if (seen(n)) continue;
+    cone.push_back(n);
+    for (const mig::Signal s : mig.fanins(n)) {
+      const uint32_t f = s.index();
+      if (mig.is_constant(f) || is_leaf(f) || seen(f)) continue;
+      stack.push_back(f);
+    }
+  }
+  return cone;
+}
+
+bool cone_is_replaceable(const mig::Mig& mig, const std::vector<uint32_t>& cone,
+                         uint32_t root, const std::vector<uint32_t>& fanout_counts) {
+  for (const uint32_t n : cone) {
+    if (n == root) continue;
+    // Count references to n from inside the cone; any additional reference is
+    // external fanout, which would keep the node alive after replacement.
+    uint32_t internal = 0;
+    for (const uint32_t m : cone) {
+      for (const mig::Signal s : mig.fanins(m)) {
+        if (s.index() == n) ++internal;
+      }
+    }
+    if (internal < fanout_counts[n]) return false;
+  }
+  return true;
+}
+
+std::vector<int> chain_input_depths(const exact::MigChain& chain) {
+  std::vector<int> result(chain.num_vars, -1);
+  const uint32_t base = 1 + chain.num_vars;
+  for (uint32_t v = 0; v < chain.num_vars; ++v) {
+    // Longest path from input v through the steps to the output reference.
+    std::vector<int> dist(base + chain.steps.size(), -1);
+    dist[1 + v] = 0;
+    for (uint32_t m = 0; m < chain.steps.size(); ++m) {
+      int best = -1;
+      for (const exact::RefLit l : chain.steps[m].fanin) {
+        const uint32_t ref = exact::ref_of(l);
+        if (dist[ref] >= 0) best = std::max(best, dist[ref] + 1);
+      }
+      dist[base + m] = best;
+    }
+    result[v] = dist[exact::ref_of(chain.output)];
+  }
+  return result;
+}
+
+}  // namespace mighty::opt

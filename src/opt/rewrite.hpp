@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exact/database.hpp"
+#include "mig/cuts.hpp"
+#include "mig/mig.hpp"
+
+/// \file rewrite.hpp
+/// \brief MIG size optimization by functional hashing (paper Sec. IV).
+///
+/// Enumerates 4-feasible cuts and replaces them with precomputed minimum MIGs
+/// from the NPN database.  Variants (paper Sec. V-C naming):
+///   T   top-down                       B   bottom-up
+///   TD  top-down, depth-preserving     BD  bottom-up, depth-preserving
+///   TF  top-down over fanout-free regions, etc.
+/// The letter F selects fanout-free-region partitioning, D the
+/// depth-preserving heuristic.
+
+namespace mighty::opt {
+
+enum class Direction { top_down, bottom_up };
+
+struct RewriteParams {
+  Direction direction = Direction::top_down;
+  /// Partition into fanout-free regions first (paper Sec. IV-C).
+  bool ffr_partition = false;
+  /// Depth-preserving heuristic: discard replacements that locally increase
+  /// the node's level (paper Sec. IV-A) by more than `depth_slack`.
+  bool depth_preserving = false;
+  uint32_t depth_slack = 0;
+  uint32_t cut_size = 4;
+  /// Cap on stored cuts per node (0 = exhaustive).
+  uint32_t max_cuts = 0;
+  /// Bottom-up: number of candidates kept per node (paper: "a predetermined
+  /// number of best candidates, similar to priority cuts").
+  uint32_t max_candidates = 2;
+  /// Bottom-up: cap on leaf-candidate combinations explored per cut.
+  uint32_t max_combinations = 16;
+  /// Extension discussed in the paper (Sec. IV, ref. [9]): also rewrite
+  /// 5-input cuts, with minimum structures synthesized on demand and cached
+  /// (the full 5-variable NPN enumeration being impractical).
+  bool five_input_cuts = false;
+  /// Conflict budget per on-demand synthesis decision problem.
+  int64_t synthesis_conflict_limit = 20000;
+};
+
+struct RewriteStats {
+  uint32_t size_before = 0;
+  uint32_t size_after = 0;
+  uint32_t depth_before = 0;
+  uint32_t depth_after = 0;
+  uint64_t cuts_evaluated = 0;
+  uint64_t replacements = 0;
+  double seconds = 0.0;
+};
+
+/// Applies one pass of functional hashing and returns the optimized MIG.
+mig::Mig functional_hashing(const mig::Mig& mig, const exact::Database& db,
+                            const RewriteParams& params = {},
+                            RewriteStats* stats = nullptr);
+
+/// Translates a paper acronym ("T", "TD", "TF", "TFD", "B", "BD", "BF",
+/// "BFD") into parameters.  Throws std::invalid_argument on unknown names.
+RewriteParams variant_params(const std::string& acronym);
+
+/// All acronyms accepted by variant_params, in the paper's table order.
+std::vector<std::string> all_variants();
+
+// --- shared internals (exposed for the two drivers and for tests) -----------
+
+/// Gates in the cone of (root, leaves), root included, leaves excluded.
+/// Returns an empty vector if the cone would cross a terminal not listed as
+/// leaf (which cannot happen for well-formed cuts).
+std::vector<uint32_t> cut_cone(const mig::Mig& mig, uint32_t root,
+                               const std::vector<uint32_t>& leaves);
+
+/// True iff no internal cone node other than the root has fanout outside the
+/// cone (the paper's condition for a replaceable cut in global mode).
+bool cone_is_replaceable(const mig::Mig& mig, const std::vector<uint32_t>& cone,
+                         uint32_t root, const std::vector<uint32_t>& fanout_counts);
+
+/// For each chain input, the longest path (in gates) from that input to the
+/// chain output; -1 when the input is unused.
+std::vector<int> chain_input_depths(const exact::MigChain& chain);
+
+/// Top-down driver (Algorithm 1).
+mig::Mig rewrite_top_down(const mig::Mig& mig, const exact::Database& db,
+                          const RewriteParams& params, RewriteStats& stats);
+
+/// Bottom-up driver (Algorithm 2).
+mig::Mig rewrite_bottom_up(const mig::Mig& mig, const exact::Database& db,
+                           const RewriteParams& params, RewriteStats& stats);
+
+}  // namespace mighty::opt

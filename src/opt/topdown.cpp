@@ -1,0 +1,128 @@
+#include <optional>
+
+#include "mig/ffr.hpp"
+#include "mig/simulation.hpp"
+#include "opt/oracle.hpp"
+#include "opt/rewrite.hpp"
+
+/// Top-down functional hashing (paper Algorithm 1): starting from the
+/// outputs, greedily replace the cut with the best size reduction and recur
+/// on its leaves; where no cut improves, copy the node and recur on the
+/// fanins.  Implemented as an explicit two-phase pass (plan top-down, build
+/// bottom-up) so deep networks cannot overflow the stack.
+
+namespace mighty::opt {
+
+namespace {
+
+struct Plan {
+  bool replace = false;
+  std::vector<uint32_t> leaves;
+  tt::TruthTable func;  ///< cut function over the leaves
+};
+
+}  // namespace
+
+mig::Mig rewrite_top_down(const mig::Mig& mig, const exact::Database& db,
+                          const RewriteParams& params, RewriteStats& stats) {
+  OracleParams oracle_params;
+  oracle_params.enable_five_input = params.five_input_cuts;
+  oracle_params.synthesis_conflict_limit = params.synthesis_conflict_limit;
+  ReplacementOracle oracle(db, oracle_params);
+
+  cuts::CutEnumerationParams cut_params;
+  cut_params.cut_size =
+      params.five_input_cuts ? std::max(params.cut_size, 5u) : params.cut_size;
+  cut_params.max_cuts = params.max_cuts;
+  std::vector<bool> boundary;
+  if (params.ffr_partition) {
+    const auto partition = ffr::compute_ffrs(mig);
+    boundary = ffr::ffr_boundary(partition);
+    cut_params.boundary = &boundary;
+  }
+  const auto cut_sets = cuts::enumerate_cuts(mig, cut_params);
+  const auto fanout = mig.compute_fanout_counts();
+  const auto levels = mig.compute_levels();
+
+  // --- phase 1: choose, per needed node, the best replacement cut ------------
+  std::vector<int8_t> needed(mig.num_nodes(), 0);
+  std::vector<Plan> plans(mig.num_nodes());
+  std::vector<uint32_t> stack;
+  for (const mig::Signal o : mig.outputs()) stack.push_back(o.index());
+
+  while (!stack.empty()) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    if (needed[v]) continue;
+    needed[v] = 1;
+    if (!mig.is_gate(v)) continue;
+
+    int best_gain = 0;
+    std::optional<Plan> best;
+    for (const auto& cut : cut_sets[v]) {
+      if (cut.size == 1 && cut.leaves[0] == v) continue;  // trivial cut
+      const auto leaves = cut.leaf_vector();
+      const auto cone = cut_cone(mig, v, leaves);
+      // In global mode, discard cuts whose internal nodes have external
+      // fanout (paper Sec. IV-C, first option); FFR cuts are confined by
+      // construction.
+      if (!params.ffr_partition && !cone_is_replaceable(mig, cone, v, fanout)) {
+        continue;
+      }
+      ++stats.cuts_evaluated;
+      const auto f = mig::simulate_cut(mig, v, leaves);
+      const auto info = oracle.query(f);
+      if (!info) continue;
+      const int gain = static_cast<int>(cone.size()) - static_cast<int>(info->size);
+      if (gain <= best_gain) continue;
+      if (params.depth_preserving) {
+        // Estimated level of the replacement root (paper Sec. IV-A: discard
+        // cuts whose minimum MIG locally increases the depth).
+        uint32_t new_level = 0;
+        for (uint32_t lv = 0; lv < leaves.size(); ++lv) {
+          if (info->input_depths[lv] < 0) continue;
+          new_level = std::max(new_level, levels[leaves[lv]] +
+                                              static_cast<uint32_t>(info->input_depths[lv]));
+        }
+        if (new_level > levels[v] + params.depth_slack) continue;
+      }
+      best_gain = gain;
+      best = Plan{true, leaves, f};
+    }
+
+    if (best) {
+      plans[v] = std::move(*best);
+      for (const uint32_t l : plans[v].leaves) stack.push_back(l);
+      ++stats.replacements;
+    } else {
+      for (const mig::Signal s : mig.fanins(v)) stack.push_back(s.index());
+    }
+  }
+
+  // --- phase 2: rebuild in ascending (= topological) node order --------------
+  mig::Mig result;
+  std::vector<mig::Signal> map(mig.num_nodes(), result.get_constant(false));
+  for (uint32_t i = 0; i < mig.num_pis(); ++i) {
+    map[1 + i] = result.create_pi();
+  }
+  for (uint32_t v = 0; v < mig.num_nodes(); ++v) {
+    if (!needed[v] || !mig.is_gate(v)) continue;
+    if (plans[v].replace) {
+      std::vector<mig::Signal> leaf_signals;
+      leaf_signals.reserve(plans[v].leaves.size());
+      for (const uint32_t l : plans[v].leaves) leaf_signals.push_back(map[l]);
+      map[v] = oracle.instantiate(plans[v].func, result, leaf_signals);
+    } else {
+      const auto& f = mig.fanins(v);
+      map[v] = result.create_maj(map[f[0].index()] ^ f[0].is_complemented(),
+                                 map[f[1].index()] ^ f[1].is_complemented(),
+                                 map[f[2].index()] ^ f[2].is_complemented());
+    }
+  }
+  for (const mig::Signal o : mig.outputs()) {
+    result.create_po(map[o.index()] ^ o.is_complemented());
+  }
+  return result;
+}
+
+}  // namespace mighty::opt

@@ -1,0 +1,68 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mighty::sat {
+
+void write_dimacs(std::ostream& os, const Cnf& cnf) {
+  os << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    for (const Lit l : clause) {
+      const int dimacs = (var_of(l) + 1) * (is_negated(l) ? -1 : 1);
+      os << dimacs << ' ';
+    }
+    os << "0\n";
+  }
+}
+
+Cnf read_dimacs(std::istream& is) {
+  Cnf cnf;
+  std::string line;
+  bool header_seen = false;
+  std::vector<Lit> current;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream hs(line);
+      std::string p, fmt;
+      size_t num_clauses = 0;
+      if (!(hs >> p >> fmt >> cnf.num_vars >> num_clauses) || fmt != "cnf") {
+        throw std::runtime_error("malformed DIMACS header");
+      }
+      header_seen = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    int v = 0;
+    while (ls >> v) {
+      if (v == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+      } else {
+        const int idx = std::abs(v) - 1;
+        if (idx >= cnf.num_vars) throw std::runtime_error("literal out of range");
+        current.push_back(lit(idx, v < 0));
+      }
+    }
+  }
+  if (!header_seen) throw std::runtime_error("missing DIMACS header");
+  if (!current.empty()) throw std::runtime_error("unterminated clause");
+  return cnf;
+}
+
+bool load_into_solver(const Cnf& cnf, Solver& solver) {
+  const int base = solver.num_vars();
+  for (int i = 0; i < cnf.num_vars; ++i) solver.new_var();
+  for (const auto& clause : cnf.clauses) {
+    std::vector<Lit> shifted;
+    shifted.reserve(clause.size());
+    for (const Lit l : clause) shifted.push_back(lit(base + var_of(l), is_negated(l)));
+    if (!solver.add_clause(std::move(shifted))) return false;
+  }
+  return true;
+}
+
+}  // namespace mighty::sat

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+/// \file dimacs.hpp
+/// \brief DIMACS CNF import/export, mainly for debugging and interop.
+
+namespace mighty::sat {
+
+/// A plain CNF container (clauses of literals in the solver's encoding).
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Writes `cnf` in DIMACS format.
+void write_dimacs(std::ostream& os, const Cnf& cnf);
+
+/// Parses DIMACS text.  Throws std::runtime_error on malformed input.
+Cnf read_dimacs(std::istream& is);
+
+/// Loads a CNF into a fresh set of solver variables; returns false if the
+/// formula is trivially unsatisfiable.
+bool load_into_solver(const Cnf& cnf, Solver& solver);
+
+}  // namespace mighty::sat

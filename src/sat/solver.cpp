@@ -1,0 +1,512 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mighty::sat {
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = num_vars();
+  assigns_.push_back(0);
+  saved_phase_.push_back(-1);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  heap_index_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+void Solver::boost_activity(Var v, double amount) {
+  activity_[static_cast<size_t>(v)] += amount;
+  if (heap_contains(v)) heap_up(heap_index_[static_cast<size_t>(v)]);
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev = -2;
+  for (const Lit l : lits) {
+    assert(var_of(l) < num_vars());
+    if (l == prev) continue;                  // duplicate literal
+    if (l == negate(prev)) return true;       // tautology
+    if (value_lit(l) == 1) return true;       // satisfied at top level
+    if (value_lit(l) == -1) continue;         // falsified at top level
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  ++num_problem_clauses_;
+  if (out.size() == 1) {
+    enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  const auto cref = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(Clause{std::move(out), 0.0, 0, false, false});
+  attach_clause(cref);
+  return true;
+}
+
+void Solver::attach_clause(ClauseRef cref) {
+  const Clause& c = clauses_[static_cast<size_t>(cref)];
+  assert(c.lits.size() >= 2);
+  watches_[static_cast<size_t>(c.lits[0])].push_back({cref, c.lits[1]});
+  watches_[static_cast<size_t>(c.lits[1])].push_back({cref, c.lits[0]});
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  const Var v = var_of(l);
+  assert(value_var(v) == 0);
+  assigns_[static_cast<size_t>(v)] = is_negated(l) ? int8_t{-1} : int8_t{1};
+  level_[static_cast<size_t>(v)] = decision_level();
+  reason_[static_cast<size_t>(v)] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& ws = watches_[static_cast<size_t>(negate(p))];
+    size_t i = 0;
+    size_t j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      if (value_lit(w.blocker) == 1) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause& c = clauses_[static_cast<size_t>(w.cref)];
+      if (c.removed) {
+        ++i;  // drop the stale watcher
+        continue;
+      }
+      const Lit false_lit = negate(p);
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      const Lit first = c.lits[0];
+      if (first != w.blocker && value_lit(first) == 1) {
+        ws[j++] = {w.cref, first};
+        ++i;
+        continue;
+      }
+      bool found_watch = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (value_lit(c.lits[k]) != -1) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<size_t>(c.lits[1])].push_back({w.cref, first});
+          found_watch = true;
+          break;
+        }
+      }
+      if (found_watch) {
+        ++i;
+        continue;
+      }
+      // Clause is unit under the current assignment, or conflicting.
+      ws[j++] = {w.cref, first};
+      ++i;
+      if (value_lit(first) == -1) {
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        propagate_head_ = trail_.size();
+        return w.cref;
+      }
+      enqueue(first, w.cref);
+    }
+    ws.resize(j);
+  }
+  return kNoReason;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt, int& out_btlevel) {
+  int path_count = 0;
+  Lit p = -1;
+  out_learnt.clear();
+  out_learnt.push_back(0);  // reserved for the asserting literal
+  size_t index = trail_.size();
+
+  ClauseRef confl = conflict;
+  do {
+    assert(confl != kNoReason);
+    Clause& c = clauses_[static_cast<size_t>(confl)];
+    if (c.learnt) bump_clause(c);
+    for (size_t k = (p == -1 ? 0 : 1); k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const Var v = var_of(q);
+      if (!seen_[static_cast<size_t>(v)] && level_[static_cast<size_t>(v)] > 0) {
+        seen_[static_cast<size_t>(v)] = 1;
+        bump_var(v);
+        if (level_[static_cast<size_t>(v)] >= decision_level()) {
+          ++path_count;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    while (!seen_[static_cast<size_t>(var_of(trail_[--index]))]) {
+    }
+    p = trail_[index];
+    confl = reason_[static_cast<size_t>(var_of(p))];
+    seen_[static_cast<size_t>(var_of(p))] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = negate(p);
+
+  // Conflict-clause minimization: drop literals implied by the rest.
+  analyze_clear_.assign(out_learnt.begin() + 1, out_learnt.end());
+  uint32_t abstract_levels = 0;
+  for (size_t k = 1; k < out_learnt.size(); ++k) {
+    abstract_levels |= 1u << (level_[static_cast<size_t>(var_of(out_learnt[k]))] & 31);
+  }
+  size_t keep = 1;
+  for (size_t k = 1; k < out_learnt.size(); ++k) {
+    const Lit q = out_learnt[k];
+    if (reason_[static_cast<size_t>(var_of(q))] == kNoReason ||
+        !literal_redundant(q, abstract_levels)) {
+      out_learnt[keep++] = q;
+    }
+  }
+  out_learnt.resize(keep);
+
+  // Find backtrack level: the second-highest decision level in the clause.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    size_t max_i = 1;
+    for (size_t k = 2; k < out_learnt.size(); ++k) {
+      if (level_[static_cast<size_t>(var_of(out_learnt[k]))] >
+          level_[static_cast<size_t>(var_of(out_learnt[max_i]))]) {
+        max_i = k;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_[static_cast<size_t>(var_of(out_learnt[1]))];
+  }
+
+  for (const Lit l : analyze_clear_) seen_[static_cast<size_t>(var_of(l))] = 0;
+  seen_[static_cast<size_t>(var_of(out_learnt[0]))] = 0;
+}
+
+bool Solver::literal_redundant(Lit l, uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const size_t top = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const ClauseRef r = reason_[static_cast<size_t>(var_of(q))];
+    assert(r != kNoReason);
+    const Clause& c = clauses_[static_cast<size_t>(r)];
+    for (size_t k = 1; k < c.lits.size(); ++k) {
+      const Lit p = c.lits[k];
+      const Var v = var_of(p);
+      if (seen_[static_cast<size_t>(v)] || level_[static_cast<size_t>(v)] == 0) continue;
+      if (reason_[static_cast<size_t>(v)] == kNoReason ||
+          ((1u << (level_[static_cast<size_t>(v)] & 31)) & abstract_levels) == 0) {
+        // Not removable: undo the marks made during this check.
+        for (size_t m = top; m < analyze_clear_.size(); ++m) {
+          seen_[static_cast<size_t>(var_of(analyze_clear_[m]))] = 0;
+        }
+        analyze_clear_.resize(top);
+        return false;
+      }
+      seen_[static_cast<size_t>(v)] = 1;
+      analyze_clear_.push_back(p);
+      analyze_stack_.push_back(p);
+    }
+  }
+  return true;
+}
+
+void Solver::backtrack(int target_level) {
+  if (decision_level() <= target_level) return;
+  const int bound = trail_lim_[static_cast<size_t>(target_level)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Var v = var_of(trail_[static_cast<size_t>(i)]);
+    saved_phase_[static_cast<size_t>(v)] = assigns_[static_cast<size_t>(v)];
+    assigns_[static_cast<size_t>(v)] = 0;
+    reason_[static_cast<size_t>(v)] = kNoReason;
+    if (!heap_contains(v)) heap_insert(v);
+  }
+  trail_.resize(static_cast<size_t>(bound));
+  trail_lim_.resize(static_cast<size_t>(target_level));
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch_literal() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (value_var(v) == 0) {
+      const bool phase_true = saved_phase_[static_cast<size_t>(v)] > 0;
+      return lit(v, !phase_true);
+    }
+  }
+  return -1;
+}
+
+int Solver::compute_lbd(const std::vector<Lit>& lits) {
+  std::vector<int> levels;
+  levels.reserve(lits.size());
+  for (const Lit l : lits) levels.push_back(level_[static_cast<size_t>(var_of(l))]);
+  std::sort(levels.begin(), levels.end());
+  return static_cast<int>(std::unique(levels.begin(), levels.end()) - levels.begin());
+}
+
+void Solver::bump_var(Var v) {
+  activity_[static_cast<size_t>(v)] += var_inc_;
+  if (activity_[static_cast<size_t>(v)] > 1e100) rescale_var_activity();
+  if (heap_contains(v)) heap_up(heap_index_[static_cast<size_t>(v)]);
+}
+
+void Solver::rescale_var_activity() {
+  for (auto& a : activity_) a *= 1e-100;
+  var_inc_ *= 1e-100;
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += cla_inc_;
+  if (c.activity > 1e20) {
+    for (auto& cl : clauses_) {
+      if (cl.learnt) cl.activity *= 1e-20;
+    }
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void Solver::reduce_db() {
+  assert(decision_level() == 0);
+  // Collect learnt, non-locked clauses and drop the worse half by (lbd, act).
+  std::vector<ClauseRef> learnts;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    Clause& c = clauses_[i];
+    if (c.removed || !c.learnt) continue;
+    const bool locked = !c.lits.empty() && value_lit(c.lits[0]) == 1 &&
+                        reason_[static_cast<size_t>(var_of(c.lits[0]))] ==
+                            static_cast<ClauseRef>(i);
+    if (locked || c.lits.size() <= 2 || c.lbd <= 2) continue;
+    learnts.push_back(static_cast<ClauseRef>(i));
+  }
+  std::sort(learnts.begin(), learnts.end(), [&](ClauseRef a, ClauseRef b) {
+    const Clause& ca = clauses_[static_cast<size_t>(a)];
+    const Clause& cb = clauses_[static_cast<size_t>(b)];
+    if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
+    return ca.activity < cb.activity;
+  });
+  for (size_t i = 0; i < learnts.size() / 2; ++i) {
+    clauses_[static_cast<size_t>(learnts[i])].removed = true;
+    ++stats_.removed_clauses;
+  }
+
+  // Rebuild the watch lists over the surviving clauses; also simplify each
+  // clause against the top-level assignment.
+  for (auto& ws : watches_) ws.clear();
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    Clause& c = clauses_[i];
+    if (c.removed) continue;
+    bool satisfied = false;
+    size_t keep = 0;
+    for (const Lit l : c.lits) {
+      if (value_lit(l) == 1 && level_[static_cast<size_t>(var_of(l))] == 0) {
+        satisfied = true;
+        break;
+      }
+      if (value_lit(l) == -1 && level_[static_cast<size_t>(var_of(l))] == 0) continue;
+      c.lits[keep++] = l;
+    }
+    if (satisfied) {
+      c.removed = true;
+      continue;
+    }
+    c.lits.resize(keep);
+    assert(!c.lits.empty());
+    if (c.lits.size() == 1) {
+      if (value_lit(c.lits[0]) == 0) enqueue(c.lits[0], kNoReason);
+      c.removed = true;
+      continue;
+    }
+    attach_clause(static_cast<ClauseRef>(i));
+  }
+}
+
+uint64_t Solver::luby(uint64_t i) {
+  // Index into the Luby sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (1-based).
+  uint64_t size = 1;
+  uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return uint64_t{1} << seq;
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions, int64_t conflict_limit) {
+  if (!ok_) return Result::unsat;
+  model_.clear();
+  backtrack(0);
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return Result::unsat;
+  }
+
+  const uint64_t conflicts_start = stats_.conflicts;
+  uint64_t restart_index = 0;
+  uint64_t restart_budget = 100 * luby(++restart_index);
+  uint64_t conflicts_since_restart = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    const ClauseRef confl = propagate();
+    if (confl != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return Result::unsat;
+      }
+      int bt_level = 0;
+      analyze(confl, learnt, bt_level);
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        const auto cref = static_cast<ClauseRef>(clauses_.size());
+        Clause c;
+        c.lits = learnt;
+        c.learnt = true;
+        c.lbd = compute_lbd(learnt);
+        clauses_.push_back(std::move(c));
+        attach_clause(cref);
+        bump_clause(clauses_[static_cast<size_t>(cref)]);
+        enqueue(learnt[0], cref);
+        ++stats_.learnt_clauses;
+      }
+      decay_var_activity();
+      cla_inc_ *= (1.0 / 0.999);
+
+      if (conflict_limit >= 0 &&
+          stats_.conflicts - conflicts_start >= static_cast<uint64_t>(conflict_limit)) {
+        backtrack(0);
+        return Result::unknown;
+      }
+      continue;
+    }
+
+    if (conflicts_since_restart >= restart_budget) {
+      conflicts_since_restart = 0;
+      restart_budget = 100 * luby(++restart_index);
+      ++stats_.restarts;
+      backtrack(0);
+      if (stats_.learnt_clauses - stats_.removed_clauses > next_reduce_) {
+        reduce_db();
+        next_reduce_ += reduce_increment_;
+      }
+      continue;
+    }
+
+    // Assumption decisions come first, one level per assumption.
+    if (static_cast<size_t>(decision_level()) < assumptions.size()) {
+      const Lit a = assumptions[static_cast<size_t>(decision_level())];
+      if (value_lit(a) == -1) {
+        backtrack(0);
+        return Result::unsat;  // assumption conflicts with the formula
+      }
+      new_decision_level();
+      if (value_lit(a) == 0) enqueue(a, kNoReason);
+      continue;
+    }
+
+    const Lit next = pick_branch_literal();
+    if (next == -1) {
+      // All variables assigned: a model has been found.
+      model_.assign(assigns_.begin(), assigns_.end());
+      backtrack(0);
+      return Result::sat;
+    }
+    ++stats_.decisions;
+    new_decision_level();
+    enqueue(next, kNoReason);
+  }
+}
+
+// --- activity-ordered binary heap -------------------------------------------
+
+void Solver::heap_insert(Var v) {
+  heap_index_[static_cast<size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_up(static_cast<int>(heap_.size()) - 1);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_index_[static_cast<size_t>(top)] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_index_[static_cast<size_t>(heap_[0])] = 0;
+    heap_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_up(int i) {
+  const Var v = heap_[static_cast<size_t>(i)];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[static_cast<size_t>(heap_[static_cast<size_t>(parent)])] >=
+        activity_[static_cast<size_t>(v)]) {
+      break;
+    }
+    heap_[static_cast<size_t>(i)] = heap_[static_cast<size_t>(parent)];
+    heap_index_[static_cast<size_t>(heap_[static_cast<size_t>(i)])] = i;
+    i = parent;
+  }
+  heap_[static_cast<size_t>(i)] = v;
+  heap_index_[static_cast<size_t>(v)] = i;
+}
+
+void Solver::heap_down(int i) {
+  const Var v = heap_[static_cast<size_t>(i)];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[static_cast<size_t>(heap_[static_cast<size_t>(child + 1)])] >
+            activity_[static_cast<size_t>(heap_[static_cast<size_t>(child)])]) {
+      ++child;
+    }
+    if (activity_[static_cast<size_t>(heap_[static_cast<size_t>(child)])] <=
+        activity_[static_cast<size_t>(v)]) {
+      break;
+    }
+    heap_[static_cast<size_t>(i)] = heap_[static_cast<size_t>(child)];
+    heap_index_[static_cast<size_t>(heap_[static_cast<size_t>(i)])] = i;
+    i = child;
+  }
+  heap_[static_cast<size_t>(i)] = v;
+  heap_index_[static_cast<size_t>(v)] = i;
+}
+
+}  // namespace mighty::sat

@@ -1,0 +1,131 @@
+#include "smt/bitvector.hpp"
+
+#include <cassert>
+
+namespace mighty::smt {
+
+using sat::Lit;
+using sat::negate;
+
+Context::Context(sat::Solver& solver) : solver_(solver) {
+  true_lit_ = sat::lit(solver_.new_var());
+  solver_.add_clause({true_lit_});
+}
+
+Lit Context::fresh() { return sat::lit(solver_.new_var()); }
+
+BitVector Context::bv_constant(uint64_t value, uint32_t width) {
+  BitVector v;
+  v.bits.reserve(width);
+  for (uint32_t i = 0; i < width; ++i) {
+    v.bits.push_back(literal(((value >> i) & 1) != 0));
+  }
+  return v;
+}
+
+BitVector Context::bv_variable(uint32_t width) {
+  BitVector v;
+  v.bits.reserve(width);
+  for (uint32_t i = 0; i < width; ++i) v.bits.push_back(fresh());
+  return v;
+}
+
+Lit Context::make_and(Lit a, Lit b) {
+  if (a == false_lit() || b == false_lit()) return false_lit();
+  if (a == true_lit()) return b;
+  if (b == true_lit()) return a;
+  if (a == b) return a;
+  if (a == negate(b)) return false_lit();
+  const Lit y = fresh();
+  solver_.add_clause({negate(y), a});
+  solver_.add_clause({negate(y), b});
+  solver_.add_clause({y, negate(a), negate(b)});
+  return y;
+}
+
+Lit Context::make_or(Lit a, Lit b) { return negate(make_and(negate(a), negate(b))); }
+
+Lit Context::make_xor(Lit a, Lit b) {
+  if (a == false_lit()) return b;
+  if (b == false_lit()) return a;
+  if (a == true_lit()) return negate(b);
+  if (b == true_lit()) return negate(a);
+  if (a == b) return false_lit();
+  if (a == negate(b)) return true_lit();
+  const Lit y = fresh();
+  solver_.add_clause({negate(y), a, b});
+  solver_.add_clause({negate(y), negate(a), negate(b)});
+  solver_.add_clause({y, negate(a), b});
+  solver_.add_clause({y, a, negate(b)});
+  return y;
+}
+
+Lit Context::make_maj(Lit a, Lit b, Lit c) {
+  if (a == b) return a;
+  if (b == c) return b;
+  if (a == c) return a;
+  if (a == negate(b)) return c;
+  if (b == negate(c)) return a;
+  if (a == negate(c)) return b;
+  if (a == false_lit()) return make_and(b, c);
+  if (a == true_lit()) return make_or(b, c);
+  if (b == false_lit()) return make_and(a, c);
+  if (b == true_lit()) return make_or(a, c);
+  if (c == false_lit()) return make_and(a, b);
+  if (c == true_lit()) return make_or(a, b);
+  const Lit y = fresh();
+  solver_.add_clause({negate(y), a, b});
+  solver_.add_clause({negate(y), a, c});
+  solver_.add_clause({negate(y), b, c});
+  solver_.add_clause({y, negate(a), negate(b)});
+  solver_.add_clause({y, negate(a), negate(c)});
+  solver_.add_clause({y, negate(b), negate(c)});
+  return y;
+}
+
+Lit Context::eq(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  Lit acc = true_lit();
+  for (uint32_t i = 0; i < a.width(); ++i) {
+    acc = make_and(acc, make_eq(a.bits[i], b.bits[i]));
+  }
+  return acc;
+}
+
+Lit Context::ult(const BitVector& a, const BitVector& b) {
+  assert(a.width() == b.width());
+  // Ripple comparison from the least significant bit:
+  // lt_i = (!a_i & b_i) | (a_i == b_i) & lt_{i-1}.
+  Lit lt = false_lit();
+  for (uint32_t i = 0; i < a.width(); ++i) {
+    const Lit bit_lt = make_and(negate(a.bits[i]), b.bits[i]);
+    const Lit bit_eq = make_eq(a.bits[i], b.bits[i]);
+    lt = make_or(bit_lt, make_and(bit_eq, lt));
+  }
+  return lt;
+}
+
+Lit Context::ule(const BitVector& a, const BitVector& b) { return negate(ult(b, a)); }
+
+Lit Context::eq_const(const BitVector& a, uint64_t value) {
+  return eq(a, bv_constant(value, a.width()));
+}
+
+Lit Context::ult_const(const BitVector& a, uint64_t value) {
+  return ult(a, bv_constant(value, a.width()));
+}
+
+void Context::assert_implies_eq(Lit a, Lit b, Lit c) {
+  solver_.add_clause({negate(a), negate(b), c});
+  solver_.add_clause({negate(a), b, negate(c)});
+}
+
+uint64_t Context::model_value(const BitVector& v) const {
+  uint64_t value = 0;
+  for (uint32_t i = 0; i < v.width(); ++i) {
+    if (solver_.model_value_lit(v.bits[i])) value |= uint64_t{1} << i;
+  }
+  return value;
+}
+
+}  // namespace mighty::smt

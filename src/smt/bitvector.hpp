@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+/// \file bitvector.hpp
+/// \brief A miniature QF_BV "SMT" layer bit-blasted onto the CDCL solver.
+///
+/// The paper formulates exact synthesis as an SMT problem over bit-vector
+/// select variables (Sec. III) and solves it with Z3.  Z3 decides QF_BV by
+/// bit-blasting to SAT; this module reproduces that pipeline: bit-vector
+/// terms (constants, variables, comparisons, equalities) and Boolean
+/// connectives are Tseitin-encoded into `sat::Solver` clauses.  The
+/// `exact/encoding_smt.cpp` encoder expresses the paper's constraints (4)-(10)
+/// directly on this layer; `exact/encoding_onehot.cpp` is the hand-blasted
+/// alternative, and the two are cross-checked in the tests.
+
+namespace mighty::smt {
+
+/// A bit-vector term: little-endian vector of SAT literals.  Constant bits
+/// are represented through the context's true/false literals, so constant
+/// folding happens inside the solver's unit propagation.
+struct BitVector {
+  std::vector<sat::Lit> bits;
+  uint32_t width() const { return static_cast<uint32_t>(bits.size()); }
+};
+
+class Context {
+public:
+  explicit Context(sat::Solver& solver);
+
+  sat::Solver& solver() { return solver_; }
+  const sat::Solver& solver() const { return solver_; }
+
+  /// The always-true / always-false literals.
+  sat::Lit true_lit() const { return true_lit_; }
+  sat::Lit false_lit() const { return sat::negate(true_lit_); }
+  sat::Lit literal(bool value) const { return value ? true_lit() : false_lit(); }
+
+  /// A fresh Boolean variable as a literal.
+  sat::Lit fresh();
+
+  /// Bit-vector constructors.
+  BitVector bv_constant(uint64_t value, uint32_t width);
+  BitVector bv_variable(uint32_t width);
+
+  // --- Boolean gadgets (Tseitin) ---------------------------------------------
+  sat::Lit make_and(sat::Lit a, sat::Lit b);
+  sat::Lit make_or(sat::Lit a, sat::Lit b);
+  sat::Lit make_xor(sat::Lit a, sat::Lit b);
+  sat::Lit make_maj(sat::Lit a, sat::Lit b, sat::Lit c);
+  /// y <-> (a <-> b)
+  sat::Lit make_eq(sat::Lit a, sat::Lit b) { return sat::negate(make_xor(a, b)); }
+
+  // --- Bit-vector predicates ---------------------------------------------------
+  /// Literal that is true iff a == b (widths must match).
+  sat::Lit eq(const BitVector& a, const BitVector& b);
+  /// Literal that is true iff a < b (unsigned).
+  sat::Lit ult(const BitVector& a, const BitVector& b);
+  sat::Lit ule(const BitVector& a, const BitVector& b);
+  /// Comparison against a constant.
+  sat::Lit eq_const(const BitVector& a, uint64_t value);
+  sat::Lit ult_const(const BitVector& a, uint64_t value);
+
+  // --- Assertions ---------------------------------------------------------------
+  void assert_lit(sat::Lit l) { solver_.add_clause({l}); }
+  /// a -> b
+  void assert_implies(sat::Lit a, sat::Lit b) { solver_.add_clause({sat::negate(a), b}); }
+  /// a -> (b <-> c)
+  void assert_implies_eq(sat::Lit a, sat::Lit b, sat::Lit c);
+
+  /// Model value of a bit-vector after a SAT result.
+  uint64_t model_value(const BitVector& v) const;
+
+private:
+  sat::Solver& solver_;
+  sat::Lit true_lit_;
+};
+
+}  // namespace mighty::smt

@@ -1,0 +1,164 @@
+#include "mig/algebra/algebra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cec/cec.hpp"
+#include "gen/arith.hpp"
+#include "mig/simulation.hpp"
+#include "test_util.hpp"
+
+namespace mighty::algebra {
+namespace {
+
+TEST(LevelTrackerTest, TracksLevelsIncrementally) {
+  mig::Mig m;
+  LevelTracker tracker(m);
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  const auto c = m.create_pi();
+  // The tracker must pick up nodes created both through it and directly.
+  const auto g1 = tracker.maj(a, b, c);
+  EXPECT_EQ(tracker.level(g1), 1u);
+  const auto g2 = tracker.maj(g1, a, b);
+  EXPECT_EQ(tracker.level(g2), 2u);
+  EXPECT_EQ(tracker.level(a), 0u);
+}
+
+TEST(DepthOptTest, ReducesRippleCarryDepth) {
+  // A ripple structure has linear depth; associativity/distributivity moves
+  // must reduce it.
+  mig::Mig m;
+  gen::Word a, b;
+  for (int i = 0; i < 16; ++i) a.push_back(m.create_pi());
+  for (int i = 0; i < 16; ++i) b.push_back(m.create_pi());
+  const auto sum = gen::ripple_add(m, a, b, m.get_constant(false));
+  for (const auto s : sum) m.create_po(s);
+
+  const uint32_t depth_before = m.depth();
+  const auto optimized = depth_optimize(m);
+  EXPECT_LT(optimized.depth(), depth_before);
+  EXPECT_EQ(cec::check_equivalence(m, optimized).status, cec::CecStatus::equivalent);
+}
+
+TEST(DepthOptTest, PreservesFunctionOnRandomNetworks) {
+  for (uint32_t seed = 0; seed < 10; ++seed) {
+    const auto m = testutil::random_mig(6, 50, 4, 777 + seed);
+    const auto optimized = depth_optimize(m);
+    EXPECT_EQ(cec::check_equivalence(m, optimized).status, cec::CecStatus::equivalent)
+        << "seed " << seed;
+    EXPECT_LE(optimized.depth(), m.depth()) << "seed " << seed;
+  }
+}
+
+TEST(DepthOptTest, StatsAreFilled) {
+  const auto m = gen::make_adder_n(8);
+  AlgebraStats stats;
+  depth_optimize(m, {}, &stats);
+  EXPECT_EQ(stats.size_before, m.count_live_gates());
+  EXPECT_GE(stats.rounds, 1u);
+}
+
+TEST(SizeOptTest, ReversesDistributivity) {
+  // <<xyu><xyv>z> must fold to <xy<uvz>> (4 gates -> 2... 3 -> 2 here).
+  mig::Mig m;
+  const auto x = m.create_pi();
+  const auto y = m.create_pi();
+  const auto u = m.create_pi();
+  const auto v = m.create_pi();
+  const auto z = m.create_pi();
+  const auto a = m.create_maj(x, y, u);
+  const auto b = m.create_maj(x, y, v);
+  m.create_po(m.create_maj(a, b, z));
+  ASSERT_EQ(m.count_live_gates(), 3u);
+
+  const auto optimized = size_optimize(m);
+  EXPECT_EQ(optimized.count_live_gates(), 2u);
+  EXPECT_EQ(cec::check_equivalence(m, optimized).status, cec::CecStatus::equivalent);
+}
+
+TEST(SizeOptTest, KeepsSharedGates) {
+  // When the inner gates have other fanout, folding would not pay off; the
+  // pass must not increase the size.
+  mig::Mig m;
+  const auto x = m.create_pi();
+  const auto y = m.create_pi();
+  const auto u = m.create_pi();
+  const auto v = m.create_pi();
+  const auto z = m.create_pi();
+  const auto a = m.create_maj(x, y, u);
+  const auto b = m.create_maj(x, y, v);
+  m.create_po(m.create_maj(a, b, z));
+  m.create_po(a);  // external use of a
+  const uint32_t before = m.count_live_gates();
+  const auto optimized = size_optimize(m);
+  EXPECT_LE(optimized.count_live_gates(), before);
+  EXPECT_EQ(cec::check_equivalence(m, optimized).status, cec::CecStatus::equivalent);
+}
+
+TEST(SizeOptTest, PreservesFunctionOnRandomNetworks) {
+  for (uint32_t seed = 0; seed < 10; ++seed) {
+    const auto m = testutil::random_mig(6, 50, 4, 888 + seed);
+    const auto optimized = size_optimize(m);
+    EXPECT_EQ(cec::check_equivalence(m, optimized).status, cec::CecStatus::equivalent)
+        << "seed " << seed;
+    EXPECT_LE(optimized.count_live_gates(), m.count_live_gates());
+  }
+}
+
+TEST(BaselineTest, OptimizesAndPreservesFunction) {
+  const auto m = gen::make_max_n(8);
+  AlgebraStats stats;
+  const auto optimized = baseline_optimize(m, &stats);
+  EXPECT_EQ(cec::check_equivalence(m, optimized).status, cec::CecStatus::equivalent);
+  EXPECT_EQ(stats.size_before, m.count_live_gates());
+  EXPECT_EQ(stats.depth_after, optimized.depth());
+}
+
+TEST(DepthOptTest, AssociativityIdentityHolds) {
+  // Sanity-check the axiom itself on truth tables: <xu<yuz>> = <zu<yux>>.
+  mig::Mig m;
+  const auto x = m.create_pi();
+  const auto u = m.create_pi();
+  const auto y = m.create_pi();
+  const auto z = m.create_pi();
+  const auto lhs = m.create_maj(x, u, m.create_maj(y, u, z));
+  const auto rhs = m.create_maj(z, u, m.create_maj(y, u, x));
+  m.create_po(lhs);
+  m.create_po(rhs);
+  const auto tts = mig::output_truth_tables(m);
+  EXPECT_EQ(tts[0], tts[1]);
+}
+
+TEST(DepthOptTest, DistributivityIdentityHolds) {
+  // <xy<uvz>> = <<xyu><xyv>z>.
+  mig::Mig m;
+  const auto x = m.create_pi();
+  const auto y = m.create_pi();
+  const auto u = m.create_pi();
+  const auto v = m.create_pi();
+  const auto z = m.create_pi();
+  const auto lhs = m.create_maj(x, y, m.create_maj(u, v, z));
+  const auto rhs = m.create_maj(m.create_maj(x, y, u), m.create_maj(x, y, v), z);
+  m.create_po(lhs);
+  m.create_po(rhs);
+  const auto tts = mig::output_truth_tables(m);
+  EXPECT_EQ(tts[0], tts[1]);
+}
+
+TEST(DepthOptTest, ComplementaryAssociativityIdentityHolds) {
+  // <xu<y!uz>> = <xu<yxz>>.
+  mig::Mig m;
+  const auto x = m.create_pi();
+  const auto u = m.create_pi();
+  const auto y = m.create_pi();
+  const auto z = m.create_pi();
+  const auto lhs = m.create_maj(x, u, m.create_maj(y, !u, z));
+  const auto rhs = m.create_maj(x, u, m.create_maj(y, x, z));
+  m.create_po(lhs);
+  m.create_po(rhs);
+  const auto tts = mig::output_truth_tables(m);
+  EXPECT_EQ(tts[0], tts[1]);
+}
+
+}  // namespace
+}  // namespace mighty::algebra

@@ -1,0 +1,127 @@
+#include "cec/cec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/arith.hpp"
+#include "mig/simulation.hpp"
+#include "test_util.hpp"
+
+namespace mighty::cec {
+namespace {
+
+TEST(CecTest, IdenticalNetworksAreEquivalent) {
+  const auto m = testutil::random_mig(5, 30, 3, 1);
+  const auto r = check_equivalence(m, m);
+  EXPECT_EQ(r.status, CecStatus::equivalent);
+}
+
+TEST(CecTest, StructurallyDifferentButEquivalent) {
+  // Build xor three ways.
+  mig::Mig m1;
+  {
+    const auto a = m1.create_pi();
+    const auto b = m1.create_pi();
+    m1.create_po(m1.create_xor(a, b));
+  }
+  mig::Mig m2;
+  {
+    const auto a = m2.create_pi();
+    const auto b = m2.create_pi();
+    // (a & !b) | (!a & b)
+    m2.create_po(m2.create_or(m2.create_and(a, !b), m2.create_and(!a, b)));
+  }
+  const auto r = check_equivalence(m1, m2);
+  EXPECT_EQ(r.status, CecStatus::equivalent);
+}
+
+TEST(CecTest, DetectsDifferenceWithCounterexample) {
+  mig::Mig m1;
+  {
+    const auto a = m1.create_pi();
+    const auto b = m1.create_pi();
+    m1.create_po(m1.create_and(a, b));
+  }
+  mig::Mig m2;
+  {
+    const auto a = m2.create_pi();
+    const auto b = m2.create_pi();
+    m2.create_po(m2.create_or(a, b));
+  }
+  const auto r = check_equivalence(m1, m2);
+  ASSERT_EQ(r.status, CecStatus::not_equivalent);
+  ASSERT_EQ(r.counterexample.size(), 2u);
+  // The counterexample must actually distinguish AND from OR.
+  const bool a = r.counterexample[0];
+  const bool b = r.counterexample[1];
+  EXPECT_NE(a && b, a || b);
+}
+
+TEST(CecTest, SubtleSingleMintermDifference) {
+  // Differ in exactly one of 64 minterms: random simulation may miss it, the
+  // SAT stage must find it.
+  mig::Mig m1;
+  mig::Mig m2;
+  {
+    const auto pis = m1.create_pis(6);
+    mig::Signal acc = m1.get_constant(true);
+    for (const auto p : pis) acc = m1.create_and(acc, p);
+    m1.create_po(acc);  // AND of all six
+  }
+  {
+    m2.create_pis(6);
+    m2.create_po(m2.get_constant(false));  // constant 0
+  }
+  const auto r = check_equivalence(m1, m2);
+  ASSERT_EQ(r.status, CecStatus::not_equivalent);
+  for (const bool bit : r.counterexample) EXPECT_TRUE(bit);
+}
+
+TEST(CecTest, SimulationOnlyModeReportsUnknown) {
+  const auto m = testutil::random_mig(5, 20, 2, 3);
+  CecOptions options;
+  options.simulation_only = true;
+  const auto r = check_equivalence(m, m, options);
+  EXPECT_EQ(r.status, CecStatus::unknown);
+}
+
+TEST(CecTest, RandomSimulationAgreesOnEquivalentNetworks) {
+  const auto m = testutil::random_mig(6, 40, 4, 4);
+  const auto clean = m.cleanup();
+  EXPECT_TRUE(random_simulation_equal(m, clean, 8, 99));
+}
+
+TEST(CecTest, MismatchedInterfacesThrow) {
+  mig::Mig m1;
+  m1.create_pis(2);
+  m1.create_po(m1.get_constant(false));
+  mig::Mig m2;
+  m2.create_pis(3);
+  m2.create_po(m2.get_constant(false));
+  EXPECT_THROW(check_equivalence(m1, m2), std::invalid_argument);
+}
+
+TEST(CecTest, LargeArithmeticEquivalenceViaCleanup) {
+  const auto m = gen::make_multiplier_n(8);
+  const auto clean = m.cleanup();
+  const auto r = check_equivalence(m, clean);
+  EXPECT_EQ(r.status, CecStatus::equivalent);
+}
+
+TEST(CecTest, EncodeMigRespectsOutputPolarity) {
+  mig::Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  m.create_po(!m.create_and(a, b));
+
+  sat::Solver solver;
+  const auto lits = encode_mig(m, solver);
+  // Force a = b = 1; the node literal must then be true (and the PO false).
+  const auto out = m.output(0);
+  solver.add_clause({lits[1]});
+  solver.add_clause({lits[2]});
+  ASSERT_EQ(solver.solve(), sat::Result::sat);
+  EXPECT_TRUE(solver.model_value_lit(lits[out.index()]));
+}
+
+}  // namespace
+}  // namespace mighty::cec

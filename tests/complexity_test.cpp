@@ -1,0 +1,137 @@
+#include "exact/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "exact/bounds.hpp"
+#include "mig/simulation.hpp"
+
+namespace mighty::exact {
+namespace {
+
+const Database& db() {
+  static const Database instance =
+      Database::load_or_build(default_database_path());
+  return instance;
+}
+
+TEST(ComplexityTest, SizeDistributionMatchesPaperTable1) {
+  const auto rows = size_distribution(db());
+  ASSERT_EQ(rows.size(), 8u);
+  // Classes column of Table I.
+  const uint32_t classes[] = {2, 2, 5, 18, 42, 117, 35, 1};
+  // Functions column of Table I.
+  const uint64_t functions[] = {10, 80, 640, 3300, 10352, 40064, 11058, 32};
+  uint64_t total_functions = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(rows[i].classes, classes[i]) << "size " << i;
+    EXPECT_EQ(rows[i].functions, functions[i]) << "size " << i;
+    total_functions += rows[i].functions;
+  }
+  EXPECT_EQ(total_functions, 65536u);
+}
+
+TEST(ComplexityTest, FormulaLengthsThreeVariables) {
+  const auto lengths = compute_formula_lengths(3);
+  ASSERT_EQ(lengths.size(), 256u);
+  // Everything is realizable.
+  for (const uint8_t l : lengths) EXPECT_NE(l, 0xff);
+  // Trivial functions have length 0.
+  EXPECT_EQ(lengths[0x00], 0);
+  EXPECT_EQ(lengths[0xff], 0);
+  EXPECT_EQ(lengths[0xaa], 0);  // x0
+  EXPECT_EQ(lengths[0x55], 0);  // !x0
+  // Single majority / AND / OR have length 1.
+  EXPECT_EQ(lengths[0xe8], 1);  // <x0 x1 x2>
+  EXPECT_EQ(lengths[0x88], 1);  // x0 & x1
+  EXPECT_EQ(lengths[0xee], 1);  // x0 | x1
+  // XOR2 has length 3.
+  EXPECT_EQ(lengths[0x66], 3);
+}
+
+TEST(ComplexityTest, FormulaLengthAtLeastCircuitSize) {
+  // L(f) >= C(f): a formula is a circuit without sharing.
+  const auto lengths = compute_formula_lengths(4);
+  for (const auto& entry : db().entries()) {
+    EXPECT_GE(lengths[entry.representative.bits()], entry.chain.size())
+        << "0x" << entry.representative.to_hex();
+  }
+}
+
+TEST(ComplexityTest, FormulaLengthDistributionMatchesPaperTable2) {
+  const auto lengths = compute_formula_lengths(4);
+  const auto rows = length_distribution(lengths);
+  // L(f) columns of Table II: lengths 0..9.
+  const uint32_t classes[] = {2, 2, 5, 18, 37, 84, 63, 7, 2, 2};
+  const uint64_t functions[] = {10, 80, 640, 3300, 9312, 28680, 22568, 832, 80, 34};
+  ASSERT_EQ(rows.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rows[i].classes, classes[i]) << "length " << i;
+    EXPECT_EQ(rows[i].functions, functions[i]) << "length " << i;
+  }
+}
+
+TEST(ComplexityTest, DepthOfParityIsFour) {
+  // The parity class is the unique depth-4 class (paper Sec. V-A).
+  const auto parity = tt::TruthTable(4, 0x6996);
+  const auto r = synthesize_minimum_depth_mig(parity);
+  ASSERT_EQ(r.status, SynthesisStatus::success);
+  EXPECT_EQ(r.depth, 4u);
+  EXPECT_EQ(r.chain.simulate(), parity);
+}
+
+TEST(ComplexityTest, DepthExamples) {
+  // <abc>-like class: depth 1; S_{0,2}: depth 3 despite size 7.
+  const auto maj = tt::TruthTable::maj(tt::TruthTable::projection(4, 0),
+                                       tt::TruthTable::projection(4, 1),
+                                       tt::TruthTable::projection(4, 2));
+  const auto r1 = synthesize_minimum_depth_mig(maj);
+  ASSERT_EQ(r1.status, SynthesisStatus::success);
+  EXPECT_EQ(r1.depth, 1u);
+}
+
+TEST(BoundsTest, Theorem2Values) {
+  EXPECT_EQ(theorem2_bound(4), 7u);
+  EXPECT_EQ(theorem2_bound(5), 17u);
+  EXPECT_EQ(theorem2_bound(6), 37u);
+  EXPECT_EQ(theorem2_bound(7), 77u);
+}
+
+TEST(BoundsTest, ShannonConstructionIsCorrect) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const tt::TruthTable f(5, (static_cast<uint64_t>(rng()) << 32) | rng());
+    mig::Mig m;
+    const auto pis = m.create_pis(5);
+    m.create_po(build_shannon(db(), f, m, pis));
+    EXPECT_EQ(mig::output_truth_tables(m)[0], f);
+  }
+}
+
+TEST(BoundsTest, ShannonSizesRespectTheorem2) {
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const tt::TruthTable f5(5, (static_cast<uint64_t>(rng()) << 32) | rng());
+    EXPECT_LE(shannon_size(db(), f5), theorem2_bound(5));
+  }
+  for (int i = 0; i < 10; ++i) {
+    const tt::TruthTable f6(6, (static_cast<uint64_t>(rng()) << 32) | rng());
+    EXPECT_LE(shannon_size(db(), f6), theorem2_bound(6));
+  }
+}
+
+TEST(BoundsTest, FourVariableBaseCase) {
+  // For 4-variable functions the construction degenerates to the database
+  // entry, whose worst case is exactly 7 gates.
+  uint32_t worst = 0;
+  std::mt19937 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const tt::TruthTable f(4, rng());
+    worst = std::max(worst, shannon_size(db(), f));
+  }
+  EXPECT_LE(worst, 7u);
+}
+
+}  // namespace
+}  // namespace mighty::exact

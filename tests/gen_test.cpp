@@ -1,0 +1,281 @@
+#include "gen/arith.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mig/simulation.hpp"
+
+namespace mighty::gen {
+namespace {
+
+/// Drives a network with 64 random test vectors in parallel (one per word
+/// lane) and returns the outputs per lane.
+class LaneHarness {
+public:
+  explicit LaneHarness(const mig::Mig& m) : mig_(m), pi_words_(m.num_pis(), 0) {}
+
+  void set_input(uint32_t offset, uint32_t width, uint32_t lane, uint64_t value) {
+    for (uint32_t i = 0; i < width; ++i) {
+      if ((value >> i) & 1) pi_words_[offset + i] |= uint64_t{1} << lane;
+    }
+  }
+
+  void run() { words_ = mig::simulate_words(mig_, pi_words_); }
+
+  uint64_t output(uint32_t offset, uint32_t width, uint32_t lane) const {
+    uint64_t value = 0;
+    for (uint32_t i = 0; i < width; ++i) {
+      const uint64_t w = mig::resolve(words_, mig_.output(offset + i));
+      if ((w >> lane) & 1) value |= uint64_t{1} << i;
+    }
+    return value;
+  }
+
+private:
+  const mig::Mig& mig_;
+  std::vector<uint64_t> pi_words_;
+  std::vector<uint64_t> words_;
+};
+
+TEST(GenTest, AdderMatchesArithmetic) {
+  const auto m = make_adder_n(16);
+  EXPECT_EQ(m.num_pis(), 32u);
+  EXPECT_EQ(m.num_pos(), 17u);
+  std::mt19937_64 rng(1);
+  LaneHarness h(m);
+  std::vector<std::pair<uint64_t, uint64_t>> cases;
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    const uint64_t a = rng() & 0xffff;
+    const uint64_t b = rng() & 0xffff;
+    cases.emplace_back(a, b);
+    h.set_input(0, 16, lane, a);
+    h.set_input(16, 16, lane, b);
+  }
+  h.run();
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    EXPECT_EQ(h.output(0, 17, lane), cases[lane].first + cases[lane].second);
+  }
+}
+
+TEST(GenTest, AdderKoggeStoneHasLogDepth) {
+  const auto m = make_adder_n(64);
+  EXPECT_LE(m.depth(), 30u);  // ripple would be ~130
+}
+
+TEST(GenTest, MultiplierMatchesArithmetic) {
+  const auto m = make_multiplier_n(10);
+  std::mt19937_64 rng(2);
+  LaneHarness h(m);
+  std::vector<std::pair<uint64_t, uint64_t>> cases;
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    const uint64_t a = rng() & 0x3ff;
+    const uint64_t b = rng() & 0x3ff;
+    cases.emplace_back(a, b);
+    h.set_input(0, 10, lane, a);
+    h.set_input(10, 10, lane, b);
+  }
+  h.run();
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    EXPECT_EQ(h.output(0, 20, lane), cases[lane].first * cases[lane].second);
+  }
+}
+
+TEST(GenTest, SquareMatchesArithmetic) {
+  const auto m = make_square_n(12);
+  std::mt19937_64 rng(3);
+  LaneHarness h(m);
+  std::vector<uint64_t> cases;
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    const uint64_t x = rng() & 0xfff;
+    cases.push_back(x);
+    h.set_input(0, 12, lane, x);
+  }
+  h.run();
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    EXPECT_EQ(h.output(0, 24, lane), cases[lane] * cases[lane]);
+  }
+}
+
+TEST(GenTest, DivisorMatchesArithmetic) {
+  const auto m = make_divisor_n(10);
+  std::mt19937_64 rng(4);
+  LaneHarness h(m);
+  std::vector<std::pair<uint64_t, uint64_t>> cases;
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    const uint64_t a = rng() & 0x3ff;
+    uint64_t b = rng() & 0x3ff;
+    if (lane < 60 && b == 0) b = 1;
+    if (lane >= 60) b = 0;  // exercise the division-by-zero corner
+    cases.emplace_back(a, b);
+    h.set_input(0, 10, lane, a);
+    h.set_input(10, 10, lane, b);
+  }
+  h.run();
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    const auto [a, b] = cases[lane];
+    const uint64_t q = h.output(0, 10, lane);
+    const uint64_t r = h.output(10, 10, lane);
+    if (b != 0) {
+      EXPECT_EQ(q, a / b) << "lane " << lane;
+      EXPECT_EQ(r, a % b) << "lane " << lane;
+    } else {
+      // Restoring array with zero divisor: all-ones quotient, remainder = a.
+      EXPECT_EQ(q, 0x3ffu);
+      EXPECT_EQ(r, a);
+    }
+  }
+}
+
+TEST(GenTest, SqrtMatchesArithmetic) {
+  const auto m = make_sqrt_n(8);  // 16-bit radicand, 8-bit root
+  std::mt19937_64 rng(5);
+  LaneHarness h(m);
+  std::vector<uint64_t> cases;
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    const uint64_t x = rng() & 0xffff;
+    cases.push_back(x);
+    h.set_input(0, 16, lane, x);
+  }
+  h.run();
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    uint64_t expected = 0;
+    while ((expected + 1) * (expected + 1) <= cases[lane]) ++expected;
+    EXPECT_EQ(h.output(0, 8, lane), expected) << "x=" << cases[lane];
+  }
+}
+
+TEST(GenTest, MaxMatchesArithmetic) {
+  const auto m = make_max_n(12);
+  std::mt19937_64 rng(6);
+  LaneHarness h(m);
+  std::vector<std::array<uint64_t, 4>> cases;
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    std::array<uint64_t, 4> v{};
+    for (int i = 0; i < 4; ++i) {
+      v[static_cast<size_t>(i)] = rng() & 0xfff;
+      h.set_input(static_cast<uint32_t>(i) * 12, 12, lane, v[static_cast<size_t>(i)]);
+    }
+    if (lane == 0) v = {5, 5, 5, 5};  // tie corner
+    if (lane == 0) {
+      for (int i = 0; i < 4; ++i) h.set_input(static_cast<uint32_t>(i) * 12, 12, 0, 0);
+    }
+    cases.push_back(v);
+  }
+  h.run();
+  for (uint32_t lane = 1; lane < 64; ++lane) {
+    const auto& v = cases[lane];
+    const uint64_t expected = std::max({v[0], v[1], v[2], v[3]});
+    EXPECT_EQ(h.output(0, 12, lane), expected);
+    const uint64_t index = h.output(12, 2, lane);
+    EXPECT_EQ(v[index], expected);  // reported index holds the maximum
+  }
+}
+
+TEST(GenTest, Log2MatchesModel) {
+  const uint32_t frac = 6;
+  const auto m = make_log2_n(frac);
+  EXPECT_EQ(m.num_pis(), 32u);
+  EXPECT_EQ(m.num_pos(), frac + 5);
+  std::mt19937_64 rng(7);
+  LaneHarness h(m);
+  std::vector<uint32_t> cases;
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    uint32_t x = static_cast<uint32_t>(rng());
+    if (lane < 8) x >>= (lane * 4);  // cover small magnitudes
+    if (lane == 8) x = 0;
+    if (lane == 9) x = 1;
+    cases.push_back(x);
+    h.set_input(0, 32, lane, x);
+  }
+  h.run();
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    EXPECT_EQ(h.output(0, frac + 5, lane), log2_model(cases[lane], frac))
+        << "x=" << cases[lane];
+  }
+}
+
+TEST(GenTest, Log2IntegerPartIsMsbPosition) {
+  // The top five output bits are floor(log2(x)).
+  for (uint32_t k = 1; k < 32; ++k) {
+    EXPECT_EQ(log2_model(1u << k, 6) >> 6, k);
+  }
+}
+
+TEST(GenTest, SineMatchesModel) {
+  const uint32_t bits = 10;
+  const auto m = make_sine_n(bits);
+  EXPECT_EQ(m.num_pis(), bits);
+  EXPECT_EQ(m.num_pos(), bits + 1);
+  std::mt19937_64 rng(8);
+  LaneHarness h(m);
+  std::vector<uint64_t> cases;
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    const uint64_t z = rng() & ((1u << bits) - 1);
+    cases.push_back(z);
+    h.set_input(0, bits, lane, z);
+  }
+  h.run();
+  for (uint32_t lane = 0; lane < 64; ++lane) {
+    EXPECT_EQ(h.output(0, bits + 1, lane), sine_model(cases[lane], bits))
+        << "z=" << cases[lane];
+  }
+}
+
+TEST(GenTest, SineApproximatesSine) {
+  // The CORDIC output must be close to the real sine (sanity on semantics,
+  // not just self-consistency).
+  const uint32_t bits = 16;
+  for (const double angle : {0.1, 0.5, 0.9}) {
+    const auto z = static_cast<uint64_t>(angle * (1 << bits));
+    const double computed =
+        static_cast<double>(sine_model(z, bits)) / static_cast<double>(1 << bits);
+    EXPECT_NEAR(computed, std::sin(static_cast<double>(z) / (1 << bits)), 1e-3);
+  }
+}
+
+TEST(GenTest, SuiteHasPaperSignatures) {
+  // I/O signatures from Table III of the paper.
+  struct Expected {
+    const char* name;
+    uint32_t ins, outs;
+  };
+  const Expected expected[] = {
+      {"Adder", 256, 129},      {"Divisor", 128, 128}, {"Log2", 32, 32},
+      {"Max", 512, 130},        {"Multiplier", 128, 128}, {"Sine", 24, 25},
+      {"Square-root", 128, 64}, {"Square", 64, 128},
+  };
+  const auto suite = epfl_arithmetic_suite();
+  ASSERT_EQ(suite.size(), 8u);
+  for (size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, expected[i].name);
+    EXPECT_EQ(suite[i].mig.num_pis(), expected[i].ins) << expected[i].name;
+    EXPECT_EQ(suite[i].mig.num_pos(), expected[i].outs) << expected[i].name;
+    EXPECT_GT(suite[i].mig.count_live_gates(), 100u) << expected[i].name;
+  }
+}
+
+TEST(GenTest, HelpersBehave) {
+  mig::Mig m;
+  const Word a = {m.create_pi(), m.create_pi()};
+  const Word b = {m.create_pi(), m.create_pi()};
+  const auto lt = less_than(m, a, b);
+  const auto sum = ripple_add(m, a, b, m.get_constant(false));
+  for (const auto s : sum) m.create_po(s);
+  m.create_po(lt);
+  const auto tts = mig::output_truth_tables(m);
+  for (uint32_t av = 0; av < 4; ++av) {
+    for (uint32_t bv = 0; bv < 4; ++bv) {
+      const uint32_t assignment = av | (bv << 2);
+      uint32_t s = 0;
+      for (uint32_t i = 0; i < 3; ++i) {
+        if (tts[i].get_bit(assignment)) s |= 1u << i;
+      }
+      EXPECT_EQ(s, av + bv);
+      EXPECT_EQ(tts[3].get_bit(assignment), av < bv);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mighty::gen

@@ -1,0 +1,116 @@
+#include "io/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cec/cec.hpp"
+#include "gen/arith.hpp"
+#include "mig/simulation.hpp"
+#include "test_util.hpp"
+
+namespace mighty::io {
+namespace {
+
+TEST(BlifTest, RoundTripPreservesFunction) {
+  for (uint32_t seed = 0; seed < 10; ++seed) {
+    const auto m = testutil::random_mig(5, 40, 4, 100 + seed);
+    std::stringstream ss;
+    write_blif(ss, m);
+    const auto back = read_blif(ss);
+    ASSERT_EQ(back.num_pis(), m.num_pis());
+    ASSERT_EQ(back.num_pos(), m.num_pos());
+    EXPECT_EQ(cec::check_equivalence(m, back).status, cec::CecStatus::equivalent)
+        << "seed " << seed;
+  }
+}
+
+TEST(BlifTest, RoundTripWithConstantsAndComplementedOutputs) {
+  mig::Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  m.create_po(!m.create_and(a, b));
+  m.create_po(m.get_constant(true));
+  m.create_po(m.create_or(m.get_constant(false), a));  // collapses to a
+  std::stringstream ss;
+  write_blif(ss, m);
+  const auto back = read_blif(ss);
+  EXPECT_EQ(cec::check_equivalence(m, back).status, cec::CecStatus::equivalent);
+}
+
+TEST(BlifTest, ReadsForeignBlif) {
+  // A hand-written BLIF with a 3-input table and don't-cares.
+  const std::string text = R"(
+# a comment
+.model test
+.inputs a b c
+.outputs f g
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.names a g
+0 1
+.end
+)";
+  std::stringstream ss(text);
+  const auto m = read_blif(ss);
+  ASSERT_EQ(m.num_pis(), 3u);
+  ASSERT_EQ(m.num_pos(), 2u);
+  const auto tts = mig::output_truth_tables(m);
+  const auto ta = tt::TruthTable::projection(3, 0);
+  const auto tb = tt::TruthTable::projection(3, 1);
+  const auto tc = tt::TruthTable::projection(3, 2);
+  EXPECT_EQ(tts[0], (ta & tb) | tc);
+  EXPECT_EQ(tts[1], ~ta);
+}
+
+TEST(BlifTest, RejectsLatches) {
+  std::stringstream ss(".model x\n.inputs a\n.outputs q\n.latch a q\n.end\n");
+  EXPECT_THROW(read_blif(ss), std::runtime_error);
+}
+
+TEST(BlifTest, RejectsUndrivenSignal) {
+  std::stringstream ss(".model x\n.inputs a\n.outputs q\n.end\n");
+  EXPECT_THROW(read_blif(ss), std::runtime_error);
+}
+
+TEST(VerilogTest, EmitsStructuralMajority) {
+  mig::Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  const auto c = m.create_pi();
+  m.create_po(!m.create_maj(a, b, c));
+  std::stringstream ss;
+  write_verilog(ss, m, "test_mod");
+  const std::string v = ss.str();
+  EXPECT_NE(v.find("module test_mod"), std::string::npos);
+  EXPECT_NE(v.find("(x0 & x1) | (x0 & x2) | (x1 & x2)"), std::string::npos);
+  EXPECT_NE(v.find("assign y0 = ~n"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(DotTest, EmitsGraph) {
+  mig::Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  m.create_po(m.create_and(a, !b));
+  std::stringstream ss;
+  write_dot(ss, m);
+  const std::string d = ss.str();
+  EXPECT_NE(d.find("digraph mig"), std::string::npos);
+  EXPECT_NE(d.find("MAJ"), std::string::npos);
+  EXPECT_NE(d.find("style=dashed"), std::string::npos);
+}
+
+TEST(BlifTest, FileRoundTrip) {
+  const auto m = gen::make_adder_n(4);
+  const std::string path = "/tmp/mighty_io_test.blif";
+  write_blif_file(path, m);
+  const auto back = read_blif_file(path);
+  EXPECT_EQ(cec::check_equivalence(m, back).status, cec::CecStatus::equivalent);
+}
+
+}  // namespace
+}  // namespace mighty::io

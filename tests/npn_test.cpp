@@ -1,0 +1,155 @@
+#include "npn/npn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace mighty::npn {
+namespace {
+
+using tt::TruthTable;
+
+TEST(NpnTest, IdentityTransformIsNoOp) {
+  Transform t;
+  t.num_vars = 4;
+  std::mt19937 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const TruthTable f(4, rng());
+    EXPECT_EQ(apply(f, t), f);
+  }
+}
+
+TEST(NpnTest, OutputNegation) {
+  Transform t;
+  t.num_vars = 4;
+  t.output_negation = true;
+  const TruthTable f(4, 0x1234);
+  EXPECT_EQ(apply(f, t), ~f);
+}
+
+TEST(NpnTest, InputNegationMatchesFlip) {
+  Transform t;
+  t.num_vars = 4;
+  t.input_negations = 0b0101;
+  std::mt19937 rng(2);
+  const TruthTable f(4, rng());
+  EXPECT_EQ(apply(f, t), f.flip(0).flip(2));
+}
+
+TEST(NpnTest, InverseRoundTripRandom) {
+  std::mt19937 rng(3);
+  const auto perms = all_permutations(4);
+  for (int i = 0; i < 500; ++i) {
+    Transform t;
+    t.num_vars = 4;
+    t.perm = perms[rng() % perms.size()];
+    t.input_negations = static_cast<uint8_t>(rng() & 0xf);
+    t.output_negation = (rng() & 1) != 0;
+    const TruthTable f(4, rng());
+    EXPECT_EQ(apply(apply(f, t), inverse(t)), f);
+    EXPECT_EQ(apply(apply(f, inverse(t)), t), f);
+  }
+}
+
+TEST(NpnTest, CanonizeIsIdempotent) {
+  std::mt19937 rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const TruthTable f(4, rng());
+    const auto r1 = canonize(f);
+    const auto r2 = canonize(r1.representative);
+    EXPECT_EQ(r2.representative, r1.representative);
+  }
+}
+
+TEST(NpnTest, CanonizeRelatesFunctionAndRepresentative) {
+  std::mt19937 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const TruthTable f(4, rng());
+    const auto r = canonize(f);
+    EXPECT_EQ(apply(f, r.transform), r.representative);
+    EXPECT_EQ(apply(r.representative, inverse(r.transform)), f);
+  }
+}
+
+TEST(NpnTest, EquivalentFunctionsShareRepresentative) {
+  std::mt19937 rng(6);
+  const auto perms = all_permutations(4);
+  for (int i = 0; i < 100; ++i) {
+    const TruthTable f(4, rng());
+    Transform t;
+    t.num_vars = 4;
+    t.perm = perms[rng() % perms.size()];
+    t.input_negations = static_cast<uint8_t>(rng() & 0xf);
+    t.output_negation = (rng() & 1) != 0;
+    const TruthTable g = apply(f, t);
+    EXPECT_EQ(canonize(f).representative, canonize(g).representative);
+  }
+}
+
+TEST(NpnTest, RepresentativeIsSmallestInOrbit) {
+  std::mt19937 rng(7);
+  const auto perms = all_permutations(4);
+  for (int i = 0; i < 10; ++i) {
+    const TruthTable f(4, rng());
+    const auto rep = canonize(f).representative;
+    Transform t;
+    t.num_vars = 4;
+    for (const auto& perm : perms) {
+      t.perm = perm;
+      for (uint32_t neg = 0; neg < 16; ++neg) {
+        t.input_negations = static_cast<uint8_t>(neg);
+        for (int out = 0; out < 2; ++out) {
+          t.output_negation = out != 0;
+          EXPECT_FALSE(apply(f, t) < rep);
+        }
+      }
+    }
+  }
+}
+
+// The published NPN class counts (paper Sec. II-D): 2, 2, 4, 14, 222 classes
+// for n = 0 (constants treated over 0 vars), 1, 2, 3, 4.
+TEST(NpnTest, ClassCountsMatchLiterature) {
+  EXPECT_EQ(enumerate_classes(0).size(), 1u);  // over zero variables: 0 and 1 collapse
+  EXPECT_EQ(enumerate_classes(1).size(), 2u);
+  EXPECT_EQ(enumerate_classes(2).size(), 4u);
+  EXPECT_EQ(enumerate_classes(3).size(), 14u);
+  EXPECT_EQ(enumerate_classes(4).size(), 222u);
+}
+
+TEST(NpnTest, ClassOrbitsPartitionAllFunctions) {
+  const auto reps = enumerate_classes(3);
+  std::set<uint64_t> seen;
+  const auto perms = all_permutations(3);
+  for (const auto& rep : reps) {
+    Transform t;
+    t.num_vars = 3;
+    for (const auto& perm : perms) {
+      t.perm = perm;
+      for (uint32_t neg = 0; neg < 8; ++neg) {
+        t.input_negations = static_cast<uint8_t>(neg);
+        for (int out = 0; out < 2; ++out) {
+          t.output_negation = out != 0;
+          seen.insert(apply(rep, t).bits());
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(NpnTest, RepresentativesCanonizeToThemselves) {
+  for (const auto& rep : enumerate_classes(3)) {
+    EXPECT_EQ(canonize(rep).representative, rep);
+  }
+}
+
+TEST(NpnTest, PermutationCount) {
+  EXPECT_EQ(all_permutations(4).size(), 24u);
+  EXPECT_EQ(all_permutations(3).size(), 6u);
+  EXPECT_EQ(all_permutations(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mighty::npn

@@ -1,0 +1,159 @@
+#include "opt/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cec/cec.hpp"
+#include "gen/arith.hpp"
+#include "mig/algebra/algebra.hpp"
+#include "mig/simulation.hpp"
+#include "opt/rewrite.hpp"
+
+namespace mighty::opt {
+namespace {
+
+const exact::Database& db() {
+  static const exact::Database instance =
+      exact::Database::load_or_build(exact::default_database_path());
+  return instance;
+}
+
+TEST(OracleTest, FourInputPathMatchesDatabase) {
+  ReplacementOracle oracle(db());
+  std::mt19937 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const tt::TruthTable f(4, rng());
+    const auto info = oracle.query(f);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->size, db().lookup(f).entry->chain.size());
+  }
+}
+
+TEST(OracleTest, InstantiateReconstructsFunction) {
+  ReplacementOracle oracle(db());
+  std::mt19937 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const tt::TruthTable f(4, rng());
+    ASSERT_TRUE(oracle.query(f).has_value());
+    mig::Mig m;
+    const auto pis = m.create_pis(4);
+    m.create_po(oracle.instantiate(f, m, pis));
+    EXPECT_EQ(mig::output_truth_tables(m)[0], f) << "f=0x" << f.to_hex();
+  }
+}
+
+TEST(OracleTest, SmallSupportShrinksToDatabase) {
+  ReplacementOracle oracle(db());
+  // A 5-variable function whose support is only 3 variables must go through
+  // the 4-input database, not on-demand synthesis.
+  const auto f = (tt::TruthTable::projection(5, 1) & tt::TruthTable::projection(5, 3)) ^
+                 tt::TruthTable::projection(5, 4);
+  const auto info = oracle.query(f);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(oracle.synthesized_count(), 0u);
+  EXPECT_EQ(info->input_depths[0], -1);
+  EXPECT_EQ(info->input_depths[2], -1);
+  EXPECT_GE(info->input_depths[1], 1);
+
+  mig::Mig m;
+  const auto pis = m.create_pis(5);
+  m.create_po(oracle.instantiate(f, m, pis));
+  EXPECT_EQ(mig::output_truth_tables(m)[0], f);
+}
+
+TEST(OracleTest, FiveInputDisabledByDefault) {
+  ReplacementOracle oracle(db());
+  // Full 5-variable support: majority of five.
+  tt::TruthTable maj5(5);
+  for (uint32_t m = 0; m < 32; ++m) maj5.set_bit(m, __builtin_popcount(m) >= 3);
+  EXPECT_FALSE(oracle.query(maj5).has_value());
+}
+
+TEST(OracleTest, FiveInputSynthesisOnDemand) {
+  OracleParams params;
+  params.enable_five_input = true;
+  ReplacementOracle oracle(db(), params);
+
+  tt::TruthTable maj5(5);
+  for (uint32_t m = 0; m < 32; ++m) maj5.set_bit(m, __builtin_popcount(m) >= 3);
+  const auto info = oracle.query(maj5);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_GE(oracle.synthesized_count(), 1u);
+  // <x1..x5> is known to need 4 majority gates.
+  EXPECT_EQ(info->size, 4u);
+
+  mig::Mig m;
+  const auto pis = m.create_pis(5);
+  m.create_po(oracle.instantiate(maj5, m, pis));
+  EXPECT_EQ(mig::output_truth_tables(m)[0], maj5);
+
+  // Second query must be served from the cache.
+  const auto before = oracle.synthesized_count();
+  ASSERT_TRUE(oracle.query(maj5).has_value());
+  EXPECT_EQ(oracle.synthesized_count(), before);
+}
+
+TEST(OracleTest, FiveInputStructuredFunctionsRoundTrip) {
+  // Structured functions, the kind real cuts produce (random 5-variable
+  // functions need ~10+ gates and routinely exhaust the synthesis budget,
+  // which the oracle reports as "no replacement" -- see the next test).
+  OracleParams params;
+  params.enable_five_input = true;
+  ReplacementOracle oracle(db(), params);
+  const auto x = [](uint32_t v) { return tt::TruthTable::projection(5, v); };
+  const std::vector<tt::TruthTable> functions = {
+      x(0) & x(1) & x(2) & x(3) & x(4),                       // and5
+      (x(0) & x(1)) | (x(2) & x(3) & x(4)),                   // and-or
+      tt::TruthTable::maj(x(0), x(1), tt::TruthTable::maj(x(2), x(3), x(4))),
+      tt::TruthTable::ite(x(4), x(0) & x(1), x(2) | x(3)),    // mux of and/or
+      (x(0) ^ x(1)) & (x(2) | x(3)) & x(4),
+  };
+  for (const auto& f : functions) {
+    const auto info = oracle.query(f);
+    ASSERT_TRUE(info.has_value()) << "f=0x" << f.to_hex();
+    mig::Mig m;
+    const auto pis = m.create_pis(5);
+    m.create_po(oracle.instantiate(f, m, pis));
+    EXPECT_EQ(mig::output_truth_tables(m)[0], f) << "f=0x" << f.to_hex();
+  }
+  EXPECT_GT(oracle.synthesized_count(), 0u);
+}
+
+TEST(OracleTest, BudgetExhaustionIsReportedAsNoReplacement) {
+  OracleParams params;
+  params.enable_five_input = true;
+  params.synthesis_conflict_limit = 1;  // starve the solver
+  params.max_gates = 12;
+  ReplacementOracle oracle(db(), params);
+  std::mt19937_64 rng(3);
+  tt::TruthTable f(5, rng());
+  while (f.support_size() < 5) f = tt::TruthTable(5, rng());
+  EXPECT_FALSE(oracle.query(f).has_value());
+  EXPECT_GE(oracle.synthesis_failures(), 1u);
+}
+
+TEST(OracleTest, FiveInputRewritingPreservesFunction) {
+  const auto baseline = algebra::depth_optimize(gen::make_adder_n(10));
+  auto params = variant_params("TF");
+  params.five_input_cuts = true;
+  RewriteStats stats;
+  const auto optimized = functional_hashing(baseline, db(), params, &stats);
+  EXPECT_EQ(cec::check_equivalence(baseline, optimized).status,
+            cec::CecStatus::equivalent);
+  EXPECT_LE(stats.size_after, stats.size_before);
+}
+
+TEST(OracleTest, FiveInputRewritingAtLeastMatchesFourInput) {
+  const auto baseline = algebra::depth_optimize(gen::make_sine_n(8));
+  RewriteStats four, five;
+  functional_hashing(baseline, db(), variant_params("TF"), &four);
+  auto params = variant_params("TF");
+  params.five_input_cuts = true;
+  functional_hashing(baseline, db(), params, &five);
+  // Wider cuts see strictly more replacement opportunities.
+  EXPECT_LE(five.size_after, four.size_after);
+}
+
+}  // namespace
+}  // namespace mighty::opt

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+/// Shared helpers for the test suite.
+
+namespace mighty::testutil {
+
+/// Builds a pseudo-random MIG with the given number of PIs and (attempted)
+/// gates; gate fanins are random signals over already-created nodes, so the
+/// result is a valid topologically ordered network.  Some creations may be
+/// absorbed by structural hashing or the trivial rules.
+inline mig::Mig random_mig(uint32_t num_pis, uint32_t num_gates, uint32_t num_pos,
+                           uint32_t seed) {
+  std::mt19937 rng(seed);
+  mig::Mig m;
+  std::vector<mig::Signal> pool;
+  pool.push_back(m.get_constant(false));
+  for (uint32_t i = 0; i < num_pis; ++i) pool.push_back(m.create_pi());
+
+  for (uint32_t g = 0; g < num_gates; ++g) {
+    auto pick = [&]() {
+      const auto s = pool[rng() % pool.size()];
+      return (rng() & 1) != 0 ? !s : s;
+    };
+    const auto s = m.create_maj(pick(), pick(), pick());
+    pool.push_back(s);
+  }
+  for (uint32_t o = 0; o < num_pos; ++o) {
+    const auto s = pool[pool.size() - 1 - (rng() % std::min<size_t>(pool.size(), 8))];
+    m.create_po((rng() & 1) != 0 ? !s : s);
+  }
+  return m;
+}
+
+}  // namespace mighty::testutil
