@@ -9,6 +9,9 @@
 // best average size reduction at a modest depth increase (paper: 0.92 size
 // ratio).
 //
+// All variants run as flow::Pipelines in one flow::Session, so the NPN
+// database loads once and the oracle cache is shared across the whole table.
+//
 // Flags: --small (reduced operand widths), --full (paper-size operands;
 // default), --with-b (add the global bottom-up variant B).
 
@@ -16,7 +19,7 @@
 
 #include "bench_util.hpp"
 #include "cec/cec.hpp"
-#include "opt/rewrite.hpp"
+#include "flow/flow.hpp"
 #include "suite_common.hpp"
 
 using namespace mighty;
@@ -31,7 +34,8 @@ int main(int argc, char** argv) {
   printf("baseline = generated circuit after algebraic depth optimization\n");
   printf("mode: %s\n\n", small ? "--small (reduced widths)" : "full (paper I/O sizes)");
 
-  const auto db = exact::Database::load_or_build(exact::default_database_path());
+  flow::Session session;
+  session.database();  // load (or build) outside the timed region
   auto suite = bench::prepare_suite(small);
 
   printf("%-12s %6s | %8s %5s |", "Benchmark", "I/O", "S", "D");
@@ -51,12 +55,13 @@ int main(int argc, char** argv) {
            benchmark.baseline.num_pis(), benchmark.baseline.num_pos(), s0, d0);
 
     for (size_t vi = 0; vi < variants.size(); ++vi) {
-      opt::RewriteStats stats;
-      const auto optimized = opt::functional_hashing(
-          benchmark.baseline, db, opt::variant_params(variants[vi]), &stats);
-      printf(" %8u %5u %6.2f |", stats.size_after, stats.depth_after, stats.seconds);
-      size_ratio_sum[vi] += static_cast<double>(stats.size_after) / s0;
-      depth_ratio_sum[vi] += static_cast<double>(stats.depth_after) / d0;
+      flow::FlowReport report;
+      const auto optimized = flow::Pipeline::parse(variants[vi])
+                                 .run(benchmark.baseline, session, &report);
+      printf(" %8u %5u %6.2f |", report.size_after, report.depth_after,
+             report.seconds);
+      size_ratio_sum[vi] += static_cast<double>(report.size_after) / s0;
+      depth_ratio_sum[vi] += static_cast<double>(report.depth_after) / d0;
       // Fast equivalence filter on every result (full SAT proofs of the
       // arithmetic miters are exercised in the test suite).
       if (!cec::random_simulation_equal(benchmark.baseline, optimized, 8, 123)) {

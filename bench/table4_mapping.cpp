@@ -3,6 +3,9 @@
 // with ABC; here the priority-cuts 6-LUT mapper of src/map is used (the same
 // algorithm family, the paper's ref. [11]).
 //
+// Each column is the flow "<variant>; map" run in one shared flow::Session;
+// the mapping numbers come straight out of the FlowReport.
+//
 // Expected shape: mapping the rewritten MIGs beats mapping the baseline in
 // most instances, and the best result is spread across different variants
 // (the paper improved 7 of 8 best known results, one also in depth).
@@ -10,8 +13,7 @@
 // Flags: --small / --full as in table3.
 
 #include "bench_util.hpp"
-#include "map/lut_mapper.hpp"
-#include "opt/rewrite.hpp"
+#include "flow/flow.hpp"
 #include "suite_common.hpp"
 
 using namespace mighty;
@@ -23,7 +25,8 @@ int main(int argc, char** argv) {
   printf("Table IV: area and depth after 6-LUT technology mapping\n");
   printf("mode: %s\n\n", small ? "--small (reduced widths)" : "full (paper I/O sizes)");
 
-  const auto db = exact::Database::load_or_build(exact::default_database_path());
+  flow::Session session;
+  session.database();  // load (or build) outside the timed region
   auto suite = bench::prepare_suite(small);
 
   printf("%-12s | %9s %4s |", "Benchmark", "base A", "D");
@@ -31,25 +34,32 @@ int main(int argc, char** argv) {
   printf("\n");
   bench::print_rule(30 + 17 * static_cast<int>(variants.size()));
 
+  const auto baseline_map = flow::Pipeline().lut_map();
+
   std::vector<double> area_ratio_sum(variants.size(), 0.0);
   std::vector<double> depth_ratio_sum(variants.size(), 0.0);
   int improved_instances = 0;
   int rows = 0;
 
   for (const auto& benchmark : suite) {
-    const auto base_map = map::map_luts(benchmark.baseline);
-    printf("%-12s | %9u %4u |", benchmark.name.c_str(), base_map.num_luts,
-           base_map.depth);
+    flow::FlowReport base_report;
+    baseline_map.run(benchmark.baseline, session, &base_report);
+    const auto* base_map = base_report.last_mapping();
+    printf("%-12s | %9u %4u |", benchmark.name.c_str(), base_map->num_luts,
+           base_map->lut_depth);
     bool any_better = false;
     for (size_t vi = 0; vi < variants.size(); ++vi) {
-      const auto optimized = opt::functional_hashing(benchmark.baseline, db,
-                                                     opt::variant_params(variants[vi]));
-      const auto mapped = map::map_luts(optimized);
-      printf(" %8u %4u |", mapped.num_luts, mapped.depth);
-      area_ratio_sum[vi] += static_cast<double>(mapped.num_luts) / base_map.num_luts;
-      depth_ratio_sum[vi] += static_cast<double>(mapped.depth) / base_map.depth;
-      if (mapped.num_luts < base_map.num_luts ||
-          (mapped.num_luts == base_map.num_luts && mapped.depth < base_map.depth)) {
+      flow::FlowReport report;
+      flow::Pipeline::parse(variants[vi] + "; map")
+          .run(benchmark.baseline, session, &report);
+      const auto* mapped = report.last_mapping();
+      printf(" %8u %4u |", mapped->num_luts, mapped->lut_depth);
+      area_ratio_sum[vi] += static_cast<double>(mapped->num_luts) / base_map->num_luts;
+      depth_ratio_sum[vi] +=
+          static_cast<double>(mapped->lut_depth) / base_map->lut_depth;
+      if (mapped->num_luts < base_map->num_luts ||
+          (mapped->num_luts == base_map->num_luts &&
+           mapped->lut_depth < base_map->lut_depth)) {
         any_better = true;
       }
       fflush(stdout);

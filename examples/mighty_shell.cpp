@@ -3,13 +3,15 @@
 //
 //   $ ./build/examples/mighty_shell
 //   mighty> gen multiplier 16
-//   mighty> depth_opt
-//   mighty> fh BF
-//   mighty> map
+//   mighty> flow depth; TF; (BFD; size)*; map
 //   mighty> cec
 //   mighty> write_blif /tmp/out.blif
 //
 // Or non-interactively:  echo "gen adder 32; fh TF; ps" | ./build/examples/mighty_shell
+//
+// All optimization commands are thin wrappers over flow::Pipeline running in
+// one flow::Session, so the NPN database and the 5-input oracle cache are
+// shared across every command of the shell's lifetime.
 
 #include <unistd.h>
 
@@ -22,13 +24,10 @@
 #include <vector>
 
 #include "cec/cec.hpp"
-#include "exact/database.hpp"
+#include "flow/flow.hpp"
 #include "gen/arith.hpp"
 #include "io/io.hpp"
-#include "map/lut_mapper.hpp"
-#include "mig/algebra/algebra.hpp"
 #include "mig/mig.hpp"
-#include "opt/rewrite.hpp"
 
 using namespace mighty;
 
@@ -37,12 +36,7 @@ namespace {
 struct Shell {
   std::optional<mig::Mig> current;
   std::optional<mig::Mig> original;  ///< snapshot for cec
-  std::optional<exact::Database> db;
-
-  const exact::Database& database() {
-    if (!db) db = exact::Database::load_or_build(exact::default_database_path());
-    return *db;
-  }
+  flow::Session session;
 
   bool require_network() {
     if (!current) {
@@ -55,6 +49,13 @@ struct Shell {
   void print_stats(const char* tag) {
     printf("%s: pis=%u pos=%u gates=%u depth=%u\n", tag, current->num_pis(),
            current->num_pos(), current->count_live_gates(), current->depth());
+  }
+
+  /// Runs a pipeline on the current network and prints its trajectory.
+  void run_pipeline(const flow::Pipeline& pipeline) {
+    flow::FlowReport report;
+    current = pipeline.run(*current, session, &report);
+    fputs(report.summary().c_str(), stdout);
   }
 
   void command(const std::string& line);
@@ -74,6 +75,8 @@ void Shell::command(const std::string& line) {
         "  ps                    network statistics\n"
         "  depth_opt | size_opt  algebraic optimization (refs. [3], [4])\n"
         "  fh [variant]          functional hashing (default BF; T/TD/TF/TFD/B/...)\n"
+        "  flow <script>         run a flow script, e.g.  TF;(BFD;size)*;map\n"
+        "                        (x*3 repeats, x* iterates to convergence)\n"
         "  map [k]               k-LUT mapping (default 6)\n"
         "  cec                   SAT equivalence vs. the originally loaded network\n"
         "  snapshot              make the current network the cec reference\n"
@@ -125,36 +128,34 @@ void Shell::command(const std::string& line) {
   if (cmd == "ps") {
     print_stats("network");
   } else if (cmd == "depth_opt") {
-    algebra::AlgebraStats stats;
-    current = algebra::depth_optimize(*current, {}, &stats);
-    printf("depth %u -> %u, size %u -> %u\n", stats.depth_before, stats.depth_after,
-           stats.size_before, stats.size_after);
+    run_pipeline(flow::Pipeline().depth_opt());
   } else if (cmd == "size_opt") {
-    algebra::AlgebraStats stats;
-    current = algebra::size_optimize(*current, {}, &stats);
-    printf("size %u -> %u, depth %u -> %u\n", stats.size_before, stats.size_after,
-           stats.depth_before, stats.depth_after);
+    run_pipeline(flow::Pipeline().size_opt());
   } else if (cmd == "fh") {
     std::string variant = "BF";
     is >> variant;
     try {
-      opt::RewriteStats stats;
-      current = opt::functional_hashing(*current, database(),
-                                        opt::variant_params(variant), &stats);
-      printf("%s: size %u -> %u, depth %u -> %u (%.2fs, %lu replacements)\n",
-             variant.c_str(), stats.size_before, stats.size_after, stats.depth_before,
-             stats.depth_after, stats.seconds,
-             static_cast<unsigned long>(stats.replacements));
+      run_pipeline(flow::Pipeline().rewrite(variant));
+    } catch (const std::exception& e) {
+      printf("error: %s\n", e.what());
+    }
+  } else if (cmd == "flow") {
+    std::string script;
+    std::getline(is, script);
+    try {
+      run_pipeline(flow::Pipeline::parse(script));
     } catch (const std::exception& e) {
       printf("error: %s\n", e.what());
     }
   } else if (cmd == "map") {
-    uint32_t k = 6;
-    is >> k;
     map::MapParams params;
-    params.lut_size = k;
-    const auto result = map::map_luts(*current, params);
-    printf("mapping: %u LUT%u, depth %u\n", result.num_luts, k, result.depth);
+    is >> params.lut_size;
+    if (!is) params.lut_size = 6;
+    if (params.lut_size < 2 || params.lut_size > 16) {
+      printf("LUT size must be between 2 and 16\n");
+      return;
+    }
+    run_pipeline(flow::Pipeline().lut_map(params));
   } else if (cmd == "cec") {
     if (!original) {
       printf("no reference network\n");
@@ -210,12 +211,23 @@ int main() {
       fflush(stdout);
     }
     if (!std::getline(std::cin, line)) break;
-    // Allow ;-separated command sequences.
-    std::istringstream split(line);
-    std::string part;
-    while (std::getline(split, part, ';')) {
+    // Commands may be ;-chained; a `flow` command swallows the rest of the
+    // line, since its script uses ';' as the pass separator itself.
+    size_t start = 0;
+    while (start <= line.size()) {
+      const size_t word = line.find_first_not_of(" \t", start);
+      if (word != std::string::npos && line.compare(word, 4, "flow") == 0 &&
+          (word + 4 == line.size() || line[word + 4] == ' ' ||
+           line[word + 4] == '\t')) {
+        shell.command(line.substr(word));
+        break;
+      }
+      const size_t semi = line.find(';', start);
+      const std::string part = line.substr(start, semi - start);
       if (part == "quit" || part == "exit") return 0;
       shell.command(part);
+      if (semi == std::string::npos) break;
+      start = semi + 1;
     }
   }
   return 0;

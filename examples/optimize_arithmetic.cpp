@@ -1,6 +1,7 @@
 // End-to-end arithmetic optimization: generate a multiplier, produce the
-// depth-optimized baseline, run every functional-hashing variant, and map the
-// results onto 6-LUTs -- the full pipeline behind Tables III and IV.
+// depth-optimized baseline, run every functional-hashing variant as a
+// "<variant>; map" flow, and compare the mapped results -- the full pipeline
+// behind Tables III and IV, one flow::Session for the whole run.
 //
 //   $ ./build/examples/optimize_arithmetic          # 16x16 multiplier
 //   $ ./build/examples/optimize_arithmetic 24       # 24x24
@@ -9,11 +10,8 @@
 #include <string>
 
 #include "cec/cec.hpp"
-#include "exact/database.hpp"
+#include "flow/flow.hpp"
 #include "gen/arith.hpp"
-#include "map/lut_mapper.hpp"
-#include "mig/algebra/algebra.hpp"
-#include "opt/rewrite.hpp"
 
 using namespace mighty;
 
@@ -24,28 +22,28 @@ int main(int argc, char** argv) {
   printf("  raw        : %6u gates, depth %3u\n", original.count_live_gates(),
          original.depth());
 
-  algebra::AlgebraStats astats;
-  const auto baseline = algebra::depth_optimize(original, {}, &astats);
-  printf("  depth-opt  : %6u gates, depth %3u (associativity %u, "
-         "distributivity %u moves)\n",
-         astats.size_after, astats.depth_after, astats.applied_associativity,
-         astats.applied_distributivity);
-
-  const auto db = exact::Database::load_or_build(exact::default_database_path());
-  const auto base_map = map::map_luts(baseline);
-  printf("  mapping    : %6u LUT6, depth %3u\n\n", base_map.num_luts, base_map.depth);
+  flow::Session session;
+  session.database();  // load (or build) outside the timed region
+  flow::FlowReport base_report;
+  const auto baseline = flow::Pipeline().depth_opt().lut_map().run(
+      original, session, &base_report);
+  printf("  depth-opt  : %6u gates, depth %3u\n", base_report.size_after,
+         base_report.depth_after);
+  const auto* base_map = base_report.last_mapping();
+  printf("  mapping    : %6u LUT6, depth %3u\n\n", base_map->num_luts,
+         base_map->lut_depth);
 
   printf("%-6s | %8s %5s %7s | %8s %5s | %s\n", "variant", "gates", "depth", "time",
          "LUT6", "depth", "equivalent");
   for (const auto& variant : opt::all_variants()) {
-    opt::RewriteStats stats;
-    const auto optimized =
-        opt::functional_hashing(baseline, db, opt::variant_params(variant), &stats);
-    const auto mapped = map::map_luts(optimized);
+    flow::FlowReport report;
+    const auto optimized = flow::Pipeline::parse(variant + "; map")
+                               .run(baseline, session, &report);
+    const auto* mapped = report.last_mapping();
     const bool equal = cec::random_simulation_equal(baseline, optimized, 16, 7);
-    printf("%-6s | %8u %5u %6.2fs | %8u %5u | %s\n", variant.c_str(), stats.size_after,
-           stats.depth_after, stats.seconds, mapped.num_luts, mapped.depth,
-           equal ? "yes (64x16 random patterns)" : "NO");
+    printf("%-6s | %8u %5u %6.2fs | %8u %5u | %s\n", variant.c_str(),
+           report.size_after, report.depth_after, report.seconds, mapped->num_luts,
+           mapped->lut_depth, equal ? "yes (64x16 random patterns)" : "NO");
   }
   return 0;
 }

@@ -10,11 +10,10 @@
 #include <sstream>
 
 #include "cec/cec.hpp"
-#include "exact/database.hpp"
+#include "flow/flow.hpp"
 #include "io/io.hpp"
 #include "mig/mig.hpp"
 #include "mig/simulation.hpp"
-#include "opt/rewrite.hpp"
 
 using namespace mighty;
 
@@ -39,20 +38,20 @@ int main() {
   printf("initial MIG : %u majority gates, depth %u\n", m.count_live_gates(),
          m.depth());
 
-  // 2. Load (or build once) the database of minimum MIGs for all 222 NPN
-  //    classes of 4-variable functions.
-  const auto db = exact::Database::load_or_build(exact::default_database_path());
-  printf("database    : %zu NPN classes\n", db.num_entries());
+  // 2. Open a flow session: it loads (or builds once) the database of minimum
+  //    MIGs for all 222 NPN classes of 4-variable functions, and owns the
+  //    replacement oracle every pass shares.
+  flow::Session session;
+  printf("database    : %zu NPN classes\n", session.database().num_entries());
 
   // 3. One pass of global bottom-up functional hashing ("B"); on a circuit
   //    this small the global variant sees across the fanout boundaries and
   //    recovers the majority-form carries.
-  opt::RewriteStats stats;
-  const auto optimized =
-      opt::functional_hashing(m, db, opt::variant_params("B"), &stats);
+  flow::FlowReport report;
+  const auto optimized = flow::Pipeline().rewrite("B").run(m, session, &report);
   printf("optimized   : %u gates, depth %u  (%.1f%% size reduction)\n",
-         stats.size_after, stats.depth_after,
-         100.0 * (stats.size_before - stats.size_after) / stats.size_before);
+         report.size_after, report.depth_after,
+         100.0 * (report.size_before - report.size_after) / report.size_before);
 
   // 4. Prove the rewrite preserved the function.
   const auto cec = cec::check_equivalence(m, optimized);

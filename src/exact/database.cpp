@@ -1,6 +1,8 @@
 #include "exact/database.hpp"
 
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -29,6 +31,11 @@ Database Database::build(const SynthesisOptions& options) {
 }
 
 void Database::save(const std::string& path) const {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort; open reports
+  }
   std::ofstream os(path);
   if (!os) throw std::runtime_error("cannot write database file " + path);
   os << "mighty-mig-npn4-db v1 " << entries_.size() << '\n';
@@ -128,6 +135,13 @@ std::vector<uint32_t> Database::size_histogram() const {
   return histogram;
 }
 
-std::string default_database_path() { return "data/mig_npn4.db"; }
+std::string default_database_path() {
+  // One switch for every tool, bench and test: point MIGHTY_DB_PATH at a
+  // prebuilt database so repeated runs never re-synthesize the 222 classes.
+  if (const char* env = std::getenv("MIGHTY_DB_PATH"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "data/mig_npn4.db";
+}
 
 }  // namespace mighty::exact

@@ -79,7 +79,9 @@ private:
   mutable std::unordered_map<uint64_t, LookupResult> lookup_cache_;
 };
 
-/// Default on-disk location used by tools and benches (relative to cwd).
+/// Default on-disk location used by tools, benches and tests: the
+/// MIGHTY_DB_PATH environment variable when set, else "data/mig_npn4.db"
+/// relative to the current directory.
 std::string default_database_path();
 
 }  // namespace mighty::exact

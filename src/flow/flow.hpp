@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file flow.hpp
+/// \brief Umbrella header for the composable optimization-flow API.
+///
+/// Quickstart:
+///
+///   #include "flow/flow.hpp"
+///
+///   flow::Session session;                       // owns db + oracle + stats
+///   auto pipeline = flow::Pipeline::parse("TF; (BFD; size)*; map");
+///   flow::FlowReport report;
+///   auto optimized = pipeline.run(mig, session, &report);
+///   fputs(report.summary().c_str(), stdout);
+///
+/// See session.hpp (shared state), pass.hpp (the pass vocabulary) and
+/// pipeline.hpp (composition, combinators and the script grammar).
+
+#include "flow/pass.hpp"      // IWYU pragma: export
+#include "flow/pipeline.hpp"  // IWYU pragma: export
+#include "flow/session.hpp"   // IWYU pragma: export

@@ -1,0 +1,171 @@
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+#include "flow/pipeline.hpp"
+
+/// Recursive-descent parser for the flow-script grammar (see pipeline.hpp):
+///
+///   sequence := item (';' item)*
+///   item     := atom ['*' count | '*' '<' count | '*']
+///   atom     := '(' sequence ')' | word
+///   word     := variant acronym | size | depth | map[k]
+///
+/// Case-insensitive; whitespace between tokens is insignificant (a token
+/// itself cannot be split: "ma p" is not "map"); empty items ("TF;;BF",
+/// trailing ';') are permitted and skipped so shell-assembled scripts don't
+/// need trimming.
+
+namespace mighty::flow {
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& script) : script_(script) {}
+
+  Pipeline parse() {
+    Pipeline result = sequence();
+    if (!at_end()) {
+      fail(std::string("unexpected '") + peek() + "'");
+    }
+    return result;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("flow script error at position " +
+                                std::to_string(pos_) + ": " + what + " in \"" +
+                                script_ + '"');
+  }
+
+  void skip_space() {
+    while (pos_ < script_.size() &&
+           std::isspace(static_cast<unsigned char>(script_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_space();
+    return pos_ >= script_.size();
+  }
+
+  char peek() {
+    skip_space();
+    return pos_ < script_.size() ? script_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Pipeline sequence() {
+    Pipeline result;
+    while (true) {
+      if (at_end() || peek() == ')') break;
+      if (consume(';')) continue;  // empty item
+      result.then(item());
+      if (!at_end() && peek() != ')' && !consume(';')) {
+        fail(std::string("expected ';' before '") + peek() + "'");
+      }
+    }
+    return result;
+  }
+
+  Pipeline item() {
+    Pipeline base = atom();
+    if (!consume('*')) return base;
+    if (consume('<')) {  // "x*<N": until convergence, at most N rounds
+      skip_space();
+      const uint32_t rounds = integer();
+      if (rounds == 0) fail("round cap must be at least 1");
+      return base.until_convergence(rounds);
+    }
+    skip_space();
+    if (pos_ < script_.size() &&
+        std::isdigit(static_cast<unsigned char>(script_[pos_]))) {
+      const uint32_t count = integer();
+      if (count == 0) fail("repeat count must be at least 1");
+      return base.repeat(count);
+    }
+    return base.until_convergence();
+  }
+
+  Pipeline atom() {
+    if (consume('(')) {
+      Pipeline inner = sequence();
+      if (!consume(')')) fail("missing ')'");
+      if (inner.empty()) fail("empty group '()'");
+      return inner;
+    }
+    return word();
+  }
+
+  Pipeline word() {
+    skip_space();
+    const size_t start = pos_;
+    std::string text;
+    while (pos_ < script_.size() &&
+           std::isalpha(static_cast<unsigned char>(script_[pos_]))) {
+      text += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(script_[pos_])));
+      ++pos_;
+    }
+    if (text.empty()) {
+      fail(at_end() ? std::string("expected a pass name")
+                    : std::string("expected a pass name, got '") + script_[pos_] +
+                          "'");
+    }
+
+    Pipeline result;
+    if (text == "size") return result.size_opt(), result;
+    if (text == "depth") return result.depth_opt(), result;
+    if (text == "map") {
+      map::MapParams params;
+      if (pos_ < script_.size() &&
+          std::isdigit(static_cast<unsigned char>(script_[pos_]))) {
+        params.lut_size = integer();
+        if (params.lut_size < 2 || params.lut_size > 16) {
+          fail("LUT size out of range in 'map" +
+               std::to_string(params.lut_size) + "'");
+        }
+      }
+      return result.lut_map(params), result;
+    }
+    try {
+      result.rewrite(text);
+    } catch (const std::invalid_argument&) {
+      pos_ = start;
+      fail("unknown pass \"" + text + '"');
+    }
+    return result;
+  }
+
+  uint32_t integer() {
+    uint64_t value = 0;
+    size_t digits = 0;
+    while (pos_ < script_.size() &&
+           std::isdigit(static_cast<unsigned char>(script_[pos_]))) {
+      value = value * 10 + static_cast<uint64_t>(script_[pos_] - '0');
+      if (value > 1'000'000) fail("count too large");
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) fail("expected a number");
+    return static_cast<uint32_t>(value);
+  }
+
+  const std::string& script_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Pipeline Pipeline::parse(const std::string& script) {
+  return Parser(script).parse();
+}
+
+}  // namespace mighty::flow

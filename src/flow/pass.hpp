@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "map/lut_mapper.hpp"
+#include "mig/algebra/algebra.hpp"
+#include "mig/mig.hpp"
+#include "opt/rewrite.hpp"
+
+/// \file pass.hpp
+/// \brief The unit of composition of optimization flows.
+///
+/// A Pass transforms an MIG using the shared Session context and records what
+/// it did into a FlowReport.  Concrete passes wrap the library's primitive
+/// manipulations: the eight functional-hashing variants (T/TD/TF/TFD and
+/// their bottom-up duals), algebraic size and depth optimization, and k-LUT
+/// mapping (an analysis pass: it reports area/depth and leaves the network
+/// untouched).  Pipelines compose passes; see pipeline.hpp.
+
+namespace mighty::flow {
+
+class Session;
+
+/// What one primitive pass did: size/depth before and after, effort counters
+/// and wall time.  A FlowReport is the trajectory of these.
+struct PassStats {
+  std::string name;  ///< script-form name ("TF", "size", "map6", ...)
+  uint32_t size_before = 0;
+  uint32_t size_after = 0;
+  uint32_t depth_before = 0;
+  uint32_t depth_after = 0;
+  uint64_t cuts_evaluated = 0;  ///< rewriting passes only
+  uint64_t replacements = 0;    ///< rewriting passes only
+  bool is_mapping = false;      ///< set by mapping passes (0 LUTs is legal)
+  uint32_t num_luts = 0;        ///< mapping passes only
+  uint32_t lut_depth = 0;       ///< mapping passes only
+  /// Oracle activity during this pass (rewriting passes; includes private
+  /// per-pass oracles that never touch the session counters).
+  uint64_t oracle_queries = 0;
+  uint64_t oracle_answered = 0;
+  uint64_t oracle_cache5_hits = 0;
+  uint64_t oracle_synthesized = 0;
+  uint64_t oracle_failures = 0;
+  double seconds = 0.0;
+};
+
+/// Aggregated outcome of a Pipeline::run: the per-pass trajectory plus
+/// whole-flow totals and a snapshot of the shared oracle's cache behavior
+/// over this run.
+struct FlowReport {
+  std::vector<PassStats> passes;
+
+  uint32_t size_before = 0;
+  uint32_t size_after = 0;
+  uint32_t depth_before = 0;
+  uint32_t depth_after = 0;
+  double seconds = 0.0;
+
+  /// Oracle activity during this run (sums of the per-pass deltas, so
+  /// private per-pass oracles are accounted for as well).
+  uint64_t oracle_queries = 0;
+  uint64_t oracle_answered = 0;
+  uint64_t oracle_cache5_hits = 0;
+  uint64_t oracle_synthesized = 0;
+  uint64_t oracle_failures = 0;
+
+  uint64_t cuts_evaluated() const;
+  uint64_t replacements() const;
+  /// Fraction of oracle queries answered with a replacement; 1.0 if none.
+  double oracle_hit_rate() const;
+  /// Last mapping result in the trajectory, if any pass mapped.
+  const PassStats* last_mapping() const;
+
+  /// Human-readable per-pass table plus the totals line.
+  std::string summary() const;
+};
+
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// Script-form name; Pipeline::to_string() joins these with ';' such that
+  /// the result re-parses to an equivalent pipeline.
+  virtual std::string name() const = 0;
+
+  /// Transforms the network.  Appends one PassStats entry to `report` per
+  /// primitive pass executed (composite passes append several).
+  virtual mig::Mig run(const mig::Mig& mig, Session& session,
+                       FlowReport& report) const = 0;
+
+  virtual std::unique_ptr<Pass> clone() const = 0;
+};
+
+/// Functional hashing with a paper-acronym variant ("TF", "bfd", ...).
+std::unique_ptr<Pass> make_rewrite_pass(const std::string& variant);
+/// Functional hashing with explicit parameters under a display name.
+std::unique_ptr<Pass> make_rewrite_pass(const opt::RewriteParams& params,
+                                        std::string name);
+/// Algebraic size optimization (Omega rules, right-to-left distributivity).
+std::unique_ptr<Pass> make_size_pass(const algebra::SizeOptParams& params = {});
+/// Algebraic depth optimization (greedy critical-path reduction).
+std::unique_ptr<Pass> make_depth_pass(const algebra::DepthOptParams& params = {});
+/// k-LUT mapping; records LUT count and LUT depth, returns the MIG unchanged.
+std::unique_ptr<Pass> make_lut_map_pass(const map::MapParams& params = {});
+
+}  // namespace mighty::flow

@@ -1,0 +1,205 @@
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <optional>
+
+#include "flow/pass.hpp"
+#include "flow/session.hpp"
+
+namespace mighty::flow {
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct OracleCounters {
+  uint64_t queries = 0, answered = 0, cache5_hits = 0, synthesized = 0,
+           failures = 0;
+
+  static OracleCounters of(const opt::ReplacementOracle& oracle) {
+    return {oracle.queries(), oracle.answered(), oracle.cache5_hits(),
+            oracle.synthesized_count(), oracle.synthesis_failures()};
+  }
+};
+
+/// Functional hashing through the session's shared oracle.
+class RewritePass final : public Pass {
+public:
+  RewritePass(const opt::RewriteParams& params, std::string name)
+      : params_(params), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+  mig::Mig run(const mig::Mig& mig, Session& session,
+               FlowReport& report) const override {
+    // 5-input passes whose oracle budget differs from the session's cannot
+    // share the session oracle (its synthesis results depend on the budget);
+    // they fall back to a private per-pass oracle, like the legacy API.
+    const auto& session_oracle = session.params().oracle;
+    const bool needs_private_oracle =
+        params_.five_input_cuts &&
+        (!session_oracle.enable_five_input ||
+         session_oracle.synthesis_conflict_limit != params_.synthesis_conflict_limit);
+    std::optional<opt::ReplacementOracle> private_oracle;
+    if (needs_private_oracle) {
+      opt::OracleParams oracle_params;
+      oracle_params.enable_five_input = true;
+      oracle_params.synthesis_conflict_limit = params_.synthesis_conflict_limit;
+      private_oracle.emplace(session.database(), oracle_params);
+    }
+    opt::ReplacementOracle& oracle =
+        private_oracle ? *private_oracle : session.oracle();
+
+    const auto before = OracleCounters::of(oracle);
+    opt::RewriteStats stats;
+    auto result = opt::functional_hashing(mig, oracle, params_, &stats);
+    const auto after = OracleCounters::of(oracle);
+
+    PassStats entry;
+    entry.name = name_;
+    entry.size_before = stats.size_before;
+    entry.size_after = stats.size_after;
+    entry.depth_before = stats.depth_before;
+    entry.depth_after = stats.depth_after;
+    entry.cuts_evaluated = stats.cuts_evaluated;
+    entry.replacements = stats.replacements;
+    entry.oracle_queries = after.queries - before.queries;
+    entry.oracle_answered = after.answered - before.answered;
+    entry.oracle_cache5_hits = after.cache5_hits - before.cache5_hits;
+    entry.oracle_synthesized = after.synthesized - before.synthesized;
+    entry.oracle_failures = after.failures - before.failures;
+    entry.seconds = stats.seconds;
+    report.passes.push_back(std::move(entry));
+    return result;
+  }
+
+  std::unique_ptr<Pass> clone() const override {
+    return std::make_unique<RewritePass>(params_, name_);
+  }
+
+private:
+  opt::RewriteParams params_;
+  std::string name_;
+};
+
+class SizePass final : public Pass {
+public:
+  explicit SizePass(const algebra::SizeOptParams& params) : params_(params) {}
+
+  std::string name() const override { return "size"; }
+
+  mig::Mig run(const mig::Mig& mig, Session&, FlowReport& report) const override {
+    const auto start = std::chrono::steady_clock::now();
+    algebra::AlgebraStats stats;
+    auto result = algebra::size_optimize(mig, params_, &stats);
+    PassStats entry;
+    entry.name = name();
+    entry.size_before = stats.size_before;
+    entry.size_after = stats.size_after;
+    entry.depth_before = stats.depth_before;
+    entry.depth_after = stats.depth_after;
+    entry.seconds = seconds_since(start);
+    report.passes.push_back(std::move(entry));
+    return result;
+  }
+
+  std::unique_ptr<Pass> clone() const override {
+    return std::make_unique<SizePass>(params_);
+  }
+
+private:
+  algebra::SizeOptParams params_;
+};
+
+class DepthPass final : public Pass {
+public:
+  explicit DepthPass(const algebra::DepthOptParams& params) : params_(params) {}
+
+  std::string name() const override { return "depth"; }
+
+  mig::Mig run(const mig::Mig& mig, Session&, FlowReport& report) const override {
+    const auto start = std::chrono::steady_clock::now();
+    algebra::AlgebraStats stats;
+    auto result = algebra::depth_optimize(mig, params_, &stats);
+    PassStats entry;
+    entry.name = name();
+    entry.size_before = stats.size_before;
+    entry.size_after = stats.size_after;
+    entry.depth_before = stats.depth_before;
+    entry.depth_after = stats.depth_after;
+    entry.seconds = seconds_since(start);
+    report.passes.push_back(std::move(entry));
+    return result;
+  }
+
+  std::unique_ptr<Pass> clone() const override {
+    return std::make_unique<DepthPass>(params_);
+  }
+
+private:
+  algebra::DepthOptParams params_;
+};
+
+/// Analysis pass: maps onto k-LUTs for reporting and passes the MIG through.
+class LutMapPass final : public Pass {
+public:
+  explicit LutMapPass(const map::MapParams& params) : params_(params) {}
+
+  std::string name() const override {
+    return params_.lut_size == 6 ? "map" : "map" + std::to_string(params_.lut_size);
+  }
+
+  mig::Mig run(const mig::Mig& mig, Session&, FlowReport& report) const override {
+    const auto start = std::chrono::steady_clock::now();
+    const auto mapping = map::map_luts(mig, params_);
+    PassStats entry;
+    entry.name = name();
+    entry.size_before = entry.size_after = mig.count_live_gates();
+    entry.depth_before = entry.depth_after = mig.depth();
+    entry.is_mapping = true;
+    entry.num_luts = mapping.num_luts;
+    entry.lut_depth = mapping.depth;
+    entry.seconds = seconds_since(start);
+    report.passes.push_back(std::move(entry));
+    return mig;
+  }
+
+  std::unique_ptr<Pass> clone() const override {
+    return std::make_unique<LutMapPass>(params_);
+  }
+
+private:
+  map::MapParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_rewrite_pass(const std::string& variant) {
+  std::string canonical = variant;
+  std::transform(canonical.begin(), canonical.end(), canonical.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return std::make_unique<RewritePass>(opt::variant_params(canonical),
+                                       std::move(canonical));
+}
+
+std::unique_ptr<Pass> make_rewrite_pass(const opt::RewriteParams& params,
+                                        std::string name) {
+  return std::make_unique<RewritePass>(params, std::move(name));
+}
+
+std::unique_ptr<Pass> make_size_pass(const algebra::SizeOptParams& params) {
+  return std::make_unique<SizePass>(params);
+}
+
+std::unique_ptr<Pass> make_depth_pass(const algebra::DepthOptParams& params) {
+  return std::make_unique<DepthPass>(params);
+}
+
+std::unique_ptr<Pass> make_lut_map_pass(const map::MapParams& params) {
+  return std::make_unique<LutMapPass>(params);
+}
+
+}  // namespace mighty::flow

@@ -1,0 +1,25 @@
+#include "flow/session.hpp"
+
+namespace mighty::flow {
+
+Session::Session(exact::Database db, SessionParams params)
+    : params_(std::move(params)), database_(std::move(db)) {}
+
+std::string Session::database_path() const {
+  return params_.database_path.empty() ? exact::default_database_path()
+                                       : params_.database_path;
+}
+
+const exact::Database& Session::database() {
+  if (!database_) {
+    database_ = exact::Database::load_or_build(database_path(), params_.synthesis);
+  }
+  return *database_;
+}
+
+opt::ReplacementOracle& Session::oracle() {
+  if (!oracle_) oracle_.emplace(database(), params_.oracle);
+  return *oracle_;
+}
+
+}  // namespace mighty::flow

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "exact/database.hpp"
+#include "exact/exact_synthesis.hpp"
+#include "opt/oracle.hpp"
+
+/// \file session.hpp
+/// \brief Shared state for optimization flows.
+///
+/// Every pre-`flow` entry point re-created its expensive context per call:
+/// the NPN-4 database was re-loaded (or worse, re-synthesized) and each
+/// functional-hashing pass built a private ReplacementOracle, throwing away
+/// the 5-input synthesis cache between passes.  A Session owns both once, so
+/// iterated and interleaved pipelines amortize them across every pass.
+
+namespace mighty::flow {
+
+struct SessionParams {
+  /// On-disk NPN-4 database location; empty selects
+  /// exact::default_database_path() (which honors $MIGHTY_DB_PATH).
+  std::string database_path;
+  /// Synthesis options used only when the database must be built from
+  /// scratch (first run on a fresh checkout).
+  exact::SynthesisOptions synthesis;
+  /// Configuration of the shared replacement oracle.  Five-input synthesis
+  /// is enabled by default: passes that never enumerate 5-cuts never query
+  /// it, and passes that do share one cache for the whole session.
+  opt::OracleParams oracle{.enable_five_input = true};
+};
+
+class Session {
+public:
+  Session() : Session(SessionParams{}) {}
+  explicit Session(SessionParams params) : params_(std::move(params)) {}
+
+  /// Adopts an already-loaded database (no disk access, no lazy build).
+  explicit Session(exact::Database db, SessionParams params = {});
+
+  /// Not copyable or movable: the materialized oracle holds a reference into
+  /// this object's database, which a move would silently leave dangling.
+  /// (Factory functions returning a Session prvalue still work — guaranteed
+  /// copy elision constructs it in place.)
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The NPN-4 database, loaded (or built and saved) on first use.
+  const exact::Database& database();
+
+  /// The shared replacement oracle; materializes the database on first use.
+  opt::ReplacementOracle& oracle();
+
+  /// Non-materializing observer for reporting: nullptr until some pass has
+  /// asked for the oracle.
+  const opt::ReplacementOracle* oracle_if_created() const {
+    return oracle_ ? &*oracle_ : nullptr;
+  }
+
+  /// Path the database is (or would be) loaded from.
+  std::string database_path() const;
+
+  const SessionParams& params() const { return params_; }
+
+private:
+  SessionParams params_;
+  std::optional<exact::Database> database_;
+  std::optional<opt::ReplacementOracle> oracle_;
+};
+
+}  // namespace mighty::flow

@@ -46,13 +46,8 @@ void insert_candidate(std::vector<Candidate>& list, const Candidate& c,
 
 }  // namespace
 
-mig::Mig rewrite_bottom_up(const mig::Mig& mig, const exact::Database& db,
+mig::Mig rewrite_bottom_up(const mig::Mig& mig, ReplacementOracle& oracle,
                            const RewriteParams& params, RewriteStats& stats) {
-  OracleParams oracle_params;
-  oracle_params.enable_five_input = params.five_input_cuts;
-  oracle_params.synthesis_conflict_limit = params.synthesis_conflict_limit;
-  ReplacementOracle oracle(db, oracle_params);
-
   cuts::CutEnumerationParams cut_params;
   cut_params.cut_size =
       params.five_input_cuts ? std::max(params.cut_size, 5u) : params.cut_size;

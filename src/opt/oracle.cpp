@@ -14,6 +14,7 @@ ReplacementOracle::ReplacementOracle(const exact::Database& db,
 const exact::MigChain* ReplacementOracle::five_input_chain(const tt::TruthTable& f5) {
   const auto it = cache5_.find(f5.bits());
   if (it != cache5_.end()) {
+    ++cache5_hits_;
     return it->second ? &*it->second : nullptr;
   }
   exact::SynthesisOptions options;
@@ -32,6 +33,7 @@ const exact::MigChain* ReplacementOracle::five_input_chain(const tt::TruthTable&
 }
 
 std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthTable& f) {
+  ++queries_;
   Info info;
   info.input_depths.assign(f.num_vars(), -1);
 
@@ -50,6 +52,7 @@ std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthT
         info.input_depths[old_vars[g_var]] = depths[i];
       }
     }
+    ++answered_;
     return info;
   }
 
@@ -60,6 +63,7 @@ std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthT
   info.depth = chain->depth();
   const auto depths = chain_input_depths(*chain);
   for (uint32_t v = 0; v < f.num_vars(); ++v) info.input_depths[v] = depths[v];
+  ++answered_;
   return info;
 }
 

@@ -60,6 +60,19 @@ public:
   uint64_t synthesized_count() const { return synthesized_; }
   uint64_t synthesis_failures() const { return failures_; }
 
+  /// Query accounting across the oracle's lifetime (flows share one oracle
+  /// over many passes, so these measure cross-pass cache effectiveness).
+  uint64_t queries() const { return queries_; }
+  /// Queries answered with a replacement structure (4-input lookups always
+  /// hit; 5-input queries hit when cached or synthesized within budget).
+  uint64_t answered() const { return answered_; }
+  /// 5-input queries resolved from the cache without touching the SAT solver.
+  uint64_t cache5_hits() const { return cache5_hits_; }
+  /// Fraction of queries answered; 1.0 when no query was made.
+  double hit_rate() const {
+    return queries_ == 0 ? 1.0 : static_cast<double>(answered_) / queries_;
+  }
+
 private:
   const exact::MigChain* five_input_chain(const tt::TruthTable& f5);
 
@@ -68,6 +81,9 @@ private:
   std::unordered_map<uint64_t, std::optional<exact::MigChain>> cache5_;
   uint64_t synthesized_ = 0;
   uint64_t failures_ = 0;
+  uint64_t queries_ = 0;
+  uint64_t answered_ = 0;
+  uint64_t cache5_hits_ = 0;
 };
 
 }  // namespace mighty::opt

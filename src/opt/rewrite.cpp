@@ -1,12 +1,15 @@
 #include "opt/rewrite.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <stdexcept>
 
+#include "opt/oracle.hpp"
+
 namespace mighty::opt {
 
-mig::Mig functional_hashing(const mig::Mig& mig, const exact::Database& db,
+mig::Mig functional_hashing(const mig::Mig& mig, ReplacementOracle& oracle,
                             const RewriteParams& params, RewriteStats* stats) {
   RewriteStats local;
   local.size_before = mig.count_live_gates();
@@ -14,8 +17,8 @@ mig::Mig functional_hashing(const mig::Mig& mig, const exact::Database& db,
   const auto start = std::chrono::steady_clock::now();
 
   mig::Mig result = params.direction == Direction::top_down
-                        ? rewrite_top_down(mig, db, params, local)
-                        : rewrite_bottom_up(mig, db, params, local);
+                        ? rewrite_top_down(mig, oracle, params, local)
+                        : rewrite_bottom_up(mig, oracle, params, local);
   result = result.cleanup();
 
   local.seconds =
@@ -26,10 +29,19 @@ mig::Mig functional_hashing(const mig::Mig& mig, const exact::Database& db,
   return result;
 }
 
+mig::Mig functional_hashing(const mig::Mig& mig, const exact::Database& db,
+                            const RewriteParams& params, RewriteStats* stats) {
+  OracleParams oracle_params;
+  oracle_params.enable_five_input = params.five_input_cuts;
+  oracle_params.synthesis_conflict_limit = params.synthesis_conflict_limit;
+  ReplacementOracle oracle(db, oracle_params);
+  return functional_hashing(mig, oracle, params, stats);
+}
+
 RewriteParams variant_params(const std::string& acronym) {
   RewriteParams params;
-  for (const char c : acronym) {
-    switch (c) {
+  for (const char raw : acronym) {
+    switch (std::toupper(static_cast<unsigned char>(raw))) {
       case 'T':
         params.direction = Direction::top_down;
         break;
@@ -43,11 +55,16 @@ RewriteParams variant_params(const std::string& acronym) {
         params.depth_preserving = true;
         break;
       default:
-        throw std::invalid_argument("unknown variant acronym: " + acronym);
+        throw std::invalid_argument(std::string("unknown letter '") + raw +
+                                    "' in variant acronym \"" + acronym + '"');
     }
   }
-  if (acronym.empty() || (acronym[0] != 'T' && acronym[0] != 'B')) {
-    throw std::invalid_argument("variant must start with T or B: " + acronym);
+  const char head =
+      acronym.empty()
+          ? '\0'
+          : static_cast<char>(std::toupper(static_cast<unsigned char>(acronym[0])));
+  if (head != 'T' && head != 'B') {
+    throw std::invalid_argument("variant must start with T or B: \"" + acronym + '"');
   }
   return params;
 }

@@ -57,13 +57,26 @@ struct RewriteStats {
   double seconds = 0.0;
 };
 
-/// Applies one pass of functional hashing and returns the optimized MIG.
+class ReplacementOracle;
+
+/// Applies one pass of functional hashing over a caller-owned replacement
+/// oracle, so its caches (5-input synthesis results, hit statistics) persist
+/// across passes.  This is the primary entry point; multi-pass scripts should
+/// prefer the `flow::Session` / `flow::Pipeline` API, which owns the oracle.
+mig::Mig functional_hashing(const mig::Mig& mig, ReplacementOracle& oracle,
+                            const RewriteParams& params = {},
+                            RewriteStats* stats = nullptr);
+
+/// Single-shot convenience overload: builds a private oracle per call.
+/// Deprecated shim for pre-`flow` callers — nothing is shared between calls,
+/// so iterated flows pay the oracle warm-up every pass.
 mig::Mig functional_hashing(const mig::Mig& mig, const exact::Database& db,
                             const RewriteParams& params = {},
                             RewriteStats* stats = nullptr);
 
 /// Translates a paper acronym ("T", "TD", "TF", "TFD", "B", "BD", "BF",
-/// "BFD") into parameters.  Throws std::invalid_argument on unknown names.
+/// "BFD", case-insensitive) into parameters.  Throws std::invalid_argument
+/// (naming the offending string) on unknown names.
 RewriteParams variant_params(const std::string& acronym);
 
 /// All acronyms accepted by variant_params, in the paper's table order.
@@ -87,11 +100,11 @@ bool cone_is_replaceable(const mig::Mig& mig, const std::vector<uint32_t>& cone,
 std::vector<int> chain_input_depths(const exact::MigChain& chain);
 
 /// Top-down driver (Algorithm 1).
-mig::Mig rewrite_top_down(const mig::Mig& mig, const exact::Database& db,
+mig::Mig rewrite_top_down(const mig::Mig& mig, ReplacementOracle& oracle,
                           const RewriteParams& params, RewriteStats& stats);
 
 /// Bottom-up driver (Algorithm 2).
-mig::Mig rewrite_bottom_up(const mig::Mig& mig, const exact::Database& db,
+mig::Mig rewrite_bottom_up(const mig::Mig& mig, ReplacementOracle& oracle,
                            const RewriteParams& params, RewriteStats& stats);
 
 }  // namespace mighty::opt

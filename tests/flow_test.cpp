@@ -1,0 +1,325 @@
+#include "flow/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "cec/cec.hpp"
+#include "gen/arith.hpp"
+#include "mig/algebra/algebra.hpp"
+#include "mig/simulation.hpp"
+#include "opt/rewrite.hpp"
+#include "test_util.hpp"
+
+namespace mighty::flow {
+namespace {
+
+const exact::Database& db() {
+  static const exact::Database instance =
+      exact::Database::load_or_build(exact::default_database_path());
+  return instance;
+}
+
+/// A session over the shared test database (copied; the copy is cheap).
+Session make_session() { return Session(db()); }
+
+// --- flow-script parsing -----------------------------------------------------
+
+TEST(FlowParseTest, SingleVariant) {
+  const auto p = Pipeline::parse("TF");
+  EXPECT_EQ(p.num_passes(), 1u);
+  EXPECT_EQ(p.to_string(), "TF");
+}
+
+TEST(FlowParseTest, CaseAndWhitespaceInsensitive) {
+  EXPECT_EQ(Pipeline::parse("  tf ;\tBfD * 3 ; size ").to_string(), "TF;BFD*3;size");
+  EXPECT_EQ(Pipeline::parse("DEPTH;Map").to_string(), "depth;map");
+}
+
+TEST(FlowParseTest, GroupsRepeatsAndConvergence) {
+  EXPECT_EQ(Pipeline::parse("(TF;size)*;map4").to_string(), "(TF;size)*;map4");
+  EXPECT_EQ(Pipeline::parse("(BFD;size)*2").to_string(), "(BFD;size)*2");
+  EXPECT_EQ(Pipeline::parse("TF*").to_string(), "TF*");
+  EXPECT_EQ(Pipeline::parse("((T;B)*2;size)*3").to_string(), "((T;B)*2;size)*3");
+  EXPECT_EQ(Pipeline::parse("(BF;size)*<4").to_string(), "(BF;size)*<4");
+  EXPECT_EQ(Pipeline::parse("TF*<16").to_string(), "TF*");  // the default cap
+}
+
+TEST(FlowParseTest, NestedCombinatorsRoundTrip) {
+  const auto nested = Pipeline().rewrite("BF").until_convergence().repeat(3);
+  EXPECT_EQ(nested.to_string(), "(BF*)*3");
+  EXPECT_EQ(Pipeline::parse(nested.to_string()).to_string(), nested.to_string());
+
+  const auto stacked = Pipeline().rewrite("BF").repeat(2).repeat(3);
+  EXPECT_EQ(stacked.to_string(), "(BF*2)*3");
+  EXPECT_EQ(Pipeline::parse(stacked.to_string()).to_string(), stacked.to_string());
+
+  const auto capped = Pipeline().rewrite("TF").size_opt().until_convergence(4);
+  EXPECT_EQ(capped.to_string(), "(TF;size)*<4");
+  EXPECT_EQ(Pipeline::parse(capped.to_string()).to_string(), capped.to_string());
+}
+
+TEST(FlowParseTest, EmptyItemsAreSkipped) {
+  EXPECT_EQ(Pipeline::parse("TF;;BF;").to_string(), "TF;BF");
+  EXPECT_TRUE(Pipeline::parse("").empty());
+  EXPECT_TRUE(Pipeline::parse(" ; ; ").empty());
+}
+
+TEST(FlowParseTest, RoundTripsThroughToString) {
+  for (const auto* script :
+       {"TF", "TF;BFD", "(TF;size)*;map", "B*4;depth;map8", "TFD;(BD;size)*2"}) {
+    const auto once = Pipeline::parse(script).to_string();
+    EXPECT_EQ(Pipeline::parse(once).to_string(), once) << script;
+  }
+}
+
+TEST(FlowParseTest, RejectsMalformedScripts) {
+  EXPECT_THROW(Pipeline::parse("XY"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("TF BFD"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("TF**"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("TF*0"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("(TF"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("TF)"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("()"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("*3"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("map1"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("7"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("TF*<0"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("TF*<"), std::invalid_argument);
+}
+
+TEST(FlowParseTest, ErrorsNameTheOffendingToken) {
+  try {
+    Pipeline::parse("TF;frob;BF");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("frob"), std::string::npos) << e.what();
+  }
+}
+
+// --- variant_params satellite (case handling, error message) -----------------
+
+TEST(FlowParseTest, VariantParamsAcceptsLowerAndMixedCase) {
+  EXPECT_EQ(opt::variant_params("bfd").direction, opt::Direction::bottom_up);
+  EXPECT_TRUE(opt::variant_params("bfd").ffr_partition);
+  EXPECT_TRUE(opt::variant_params("bfd").depth_preserving);
+  EXPECT_EQ(opt::variant_params("Tf").direction, opt::Direction::top_down);
+  EXPECT_TRUE(opt::variant_params("tF").ffr_partition);
+}
+
+TEST(FlowParseTest, VariantParamsErrorsIncludeOffendingString) {
+  try {
+    opt::variant_params("TQX");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("TQX"), std::string::npos) << e.what();
+  }
+  try {
+    opt::variant_params("FD");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("FD"), std::string::npos) << e.what();
+  }
+}
+
+// --- session -----------------------------------------------------------------
+
+TEST(FlowSessionTest, DatabasePathHonorsEnvironment) {
+  // Materialize the shared database first so no later test rebuilds it.
+  ASSERT_EQ(db().num_entries(), 222u);
+  const char* saved = std::getenv("MIGHTY_DB_PATH");
+  const std::string saved_value = saved ? saved : "";
+  setenv("MIGHTY_DB_PATH", "/tmp/mighty_env_test.db", 1);
+  EXPECT_EQ(exact::default_database_path(), "/tmp/mighty_env_test.db");
+  EXPECT_EQ(Session().database_path(), "/tmp/mighty_env_test.db");
+  if (saved) {
+    setenv("MIGHTY_DB_PATH", saved_value.c_str(), 1);
+  } else {
+    unsetenv("MIGHTY_DB_PATH");
+    EXPECT_EQ(exact::default_database_path(), "data/mig_npn4.db");
+  }
+}
+
+TEST(FlowSessionTest, OracleMaterializesLazilyAndIsShared) {
+  auto session = make_session();
+  EXPECT_EQ(session.oracle_if_created(), nullptr);
+  const auto m = testutil::random_mig(5, 30, 3, 7);
+  Pipeline().rewrite("T").run(m, session);
+  ASSERT_NE(session.oracle_if_created(), nullptr);
+  const uint64_t queries_after_first = session.oracle_if_created()->queries();
+  EXPECT_GT(queries_after_first, 0u);
+  Pipeline().rewrite("T").run(m, session);
+  EXPECT_GT(session.oracle_if_created()->queries(), queries_after_first);
+}
+
+// --- combinators -------------------------------------------------------------
+
+TEST(FlowPipelineTest, RepeatRunsExactlyNTimes) {
+  auto session = make_session();
+  const auto m = testutil::random_mig(6, 40, 4, 11);
+  FlowReport report;
+  Pipeline().rewrite("TF").repeat(3).run(m, session, &report);
+  EXPECT_EQ(report.passes.size(), 3u);
+  for (const auto& pass : report.passes) EXPECT_EQ(pass.name, "TF");
+}
+
+TEST(FlowPipelineTest, UntilConvergenceStopsAtFixpoint) {
+  auto session = make_session();
+  // 4-input parity from three XORs: the first global top-down pass reaches
+  // the database optimum, the second proves the fixpoint, and the loop must
+  // stop there.
+  mig::Mig m;
+  const auto pis = m.create_pis(4);
+  const auto x01 = m.create_xor(pis[0], pis[1]);
+  const auto x23 = m.create_xor(pis[2], pis[3]);
+  m.create_po(m.create_xor(x01, x23));
+
+  FlowReport report;
+  const auto optimized =
+      Pipeline().rewrite("T").until_convergence(50).run(m, session, &report);
+  // The first round reaches the optimum; the round proving the fixpoint is
+  // rolled back, so the trajectory holds exactly the one improving round.
+  ASSERT_EQ(report.passes.size(), 1u);
+  EXPECT_LT(report.passes.back().size_after, report.passes.back().size_before);
+  EXPECT_EQ(optimized.count_live_gates(), report.size_after);
+  EXPECT_EQ(report.passes.back().size_after, report.size_after);
+}
+
+TEST(FlowPipelineTest, UntilConvergenceHonorsMaxRounds) {
+  auto session = make_session();
+  const auto m = algebra::depth_optimize(gen::make_sqrt_n(8));
+  FlowReport report;
+  Pipeline().rewrite("BF").until_convergence(2).run(m, session, &report);
+  EXPECT_LE(report.passes.size(), 2u);
+}
+
+TEST(FlowPipelineTest, UntilConvergenceNeverReturnsAGrownNetwork) {
+  auto session = make_session();
+  // "depth" can grow the network to cut levels; a non-improving round must be
+  // rolled back (output and trajectory), so the report chains cleanly and the
+  // result equals the last surviving round's end state.
+  const auto m = gen::make_multiplier_n(6);
+  FlowReport report;
+  const auto out =
+      Pipeline().rewrite("TF").depth_opt().until_convergence(5).run(m, session,
+                                                                    &report);
+  EXPECT_EQ(report.passes.size() % 2, 0u);  // only whole surviving rounds
+  if (!report.passes.empty()) {
+    EXPECT_EQ(out.count_live_gates(), report.passes.back().size_after);
+  } else {
+    EXPECT_EQ(out.count_live_gates(), m.count_live_gates());
+  }
+  EXPECT_LE(out.count_live_gates(), m.count_live_gates());
+}
+
+TEST(FlowPipelineTest, InterleaveRoundRobinsPasses) {
+  Pipeline a;
+  a.rewrite("TF").rewrite("TD");
+  Pipeline b;
+  b.size_opt();
+  EXPECT_EQ(Pipeline::interleave({a, b}).to_string(), "TF;size;TD");
+}
+
+// --- stats aggregation -------------------------------------------------------
+
+TEST(FlowReportTest, TrajectoryChainsAndTotalsMatch) {
+  auto session = make_session();
+  const auto m = algebra::depth_optimize(gen::make_multiplier_n(6));
+  FlowReport report;
+  const auto optimized =
+      Pipeline::parse("TF;size;BFD").run(m, session, &report);
+
+  ASSERT_EQ(report.passes.size(), 3u);
+  EXPECT_EQ(report.size_before, m.count_live_gates());
+  EXPECT_EQ(report.depth_before, m.depth());
+  EXPECT_EQ(report.size_after, optimized.count_live_gates());
+  EXPECT_EQ(report.depth_after, optimized.depth());
+  EXPECT_EQ(report.passes.front().size_before, report.size_before);
+  EXPECT_EQ(report.passes.back().size_after, report.size_after);
+  for (size_t i = 1; i < report.passes.size(); ++i) {
+    EXPECT_EQ(report.passes[i].size_before, report.passes[i - 1].size_after) << i;
+  }
+
+  uint64_t cuts = 0, replacements = 0;
+  for (const auto& pass : report.passes) {
+    cuts += pass.cuts_evaluated;
+    replacements += pass.replacements;
+  }
+  EXPECT_EQ(report.cuts_evaluated(), cuts);
+  EXPECT_EQ(report.replacements(), replacements);
+  EXPECT_GT(report.cuts_evaluated(), 0u);
+  EXPECT_GT(report.oracle_queries, 0u);
+  EXPECT_EQ(report.oracle_answered, report.oracle_queries);  // 4-cut flows always hit
+  EXPECT_DOUBLE_EQ(report.oracle_hit_rate(), 1.0);
+  EXPECT_GE(report.seconds, 0.0);
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(FlowReportTest, ReportIsResetBetweenRuns) {
+  auto session = make_session();
+  const auto m = testutil::random_mig(6, 40, 4, 3);
+  FlowReport report;
+  Pipeline().rewrite("TF").run(m, session, &report);
+  const auto first_queries = report.oracle_queries;
+  ASSERT_EQ(report.passes.size(), 1u);
+  Pipeline().rewrite("TF").run(m, session, &report);
+  EXPECT_EQ(report.passes.size(), 1u);  // not accumulated across runs
+  // Re-running the identical pass replays the same queries; the delta
+  // accounting must not leak the first run's counters into the second.
+  EXPECT_EQ(report.oracle_queries, first_queries);
+}
+
+TEST(FlowReportTest, MappingPassReportsLutsAndPreservesNetwork) {
+  auto session = make_session();
+  const auto m = gen::make_adder_n(8);
+  FlowReport report;
+  const auto out = Pipeline::parse("map4").run(m, session, &report);
+  ASSERT_NE(report.last_mapping(), nullptr);
+  EXPECT_GT(report.last_mapping()->num_luts, 0u);
+  EXPECT_GT(report.last_mapping()->lut_depth, 0u);
+  EXPECT_EQ(report.size_after, report.size_before);
+  EXPECT_TRUE(cec::random_simulation_equal(m, out, 8, 99));
+}
+
+TEST(FlowReportTest, EmptyPipelineIsIdentity) {
+  auto session = make_session();
+  const auto m = testutil::random_mig(5, 20, 3, 21);
+  FlowReport report;
+  const auto out = Pipeline().run(m, session, &report);
+  EXPECT_TRUE(report.passes.empty());
+  EXPECT_EQ(report.size_before, report.size_after);
+  EXPECT_TRUE(cec::random_simulation_equal(m, out, 8, 5));
+}
+
+// --- equivalence with the legacy single-shot API -----------------------------
+
+TEST(FlowEquivalenceTest, ParsedPipelineMatchesLegacySequentialCalls) {
+  auto session = make_session();
+  const auto m = algebra::depth_optimize(gen::make_multiplier_n(6));
+
+  // Legacy: two independent single-shot calls, each with a private oracle.
+  const auto legacy = opt::functional_hashing(
+      opt::functional_hashing(m, db(), opt::variant_params("TF")), db(),
+      opt::variant_params("BFD"));
+
+  FlowReport report;
+  const auto piped = Pipeline::parse("TF;BFD").run(m, session, &report);
+
+  // The flow must be functionally equivalent to the input (full SAT proof)
+  // and at least as small as the legacy composition.
+  EXPECT_EQ(cec::check_equivalence(m, piped).status, cec::CecStatus::equivalent);
+  EXPECT_EQ(cec::check_equivalence(legacy, piped).status,
+            cec::CecStatus::equivalent);
+  EXPECT_LE(piped.count_live_gates(), legacy.count_live_gates());
+  EXPECT_EQ(report.size_after, piped.count_live_gates());
+}
+
+TEST(FlowEquivalenceTest, ScriptedConvergenceFlowStaysEquivalent) {
+  auto session = make_session();
+  const auto m = gen::make_adder_n(16);
+  const auto out = Pipeline::parse("depth;(TF;size)*;map").run(m, session);
+  EXPECT_EQ(cec::check_equivalence(m, out).status, cec::CecStatus::equivalent);
+}
+
+}  // namespace
+}  // namespace mighty::flow

@@ -1,0 +1,17 @@
+// Builds (or verifies) the on-disk NPN-4 database of minimum MIGs and prints
+// where it lives.  Used as the ctest fixture that the database-dependent
+// tests share, and handy for warming the cache before benchmarking:
+//
+//   $ MIGHTY_DB_PATH=build/data/mig_npn4.db ./build/build_npn_db
+
+#include <cstdio>
+
+#include "exact/database.hpp"
+
+int main() {
+  using namespace mighty;
+  const std::string path = exact::default_database_path();
+  const auto db = exact::Database::load_or_build(path);
+  printf("NPN-4 database: %zu classes at %s\n", db.num_entries(), path.c_str());
+  return db.num_entries() == 222 ? 0 : 1;
+}
