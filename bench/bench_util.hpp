@@ -29,9 +29,83 @@ inline bool has_flag(int argc, char** argv, const std::string& flag) {
   return false;
 }
 
+/// Value of "--flag value"; `fallback` when absent.
+inline std::string string_flag(int argc, char** argv, const std::string& flag,
+                               const std::string& fallback = "") {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Integer value of "--flag n"; `fallback` when absent or malformed.
+inline int int_flag(int argc, char** argv, const std::string& flag, int fallback) {
+  const std::string value = string_flag(argc, argv, flag);
+  if (value.empty()) return fallback;
+  try {
+    return std::stoi(value);
+  } catch (...) {
+    return fallback;
+  }
+}
+
 inline void print_rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+// --- machine-readable results (consumed by tools/check_bench.py) -------------
+
+/// One benchmark row: named baseline metrics plus per-variant metric groups.
+/// Metrics named "seconds" are treated as wall time by the regression gate
+/// (warn-only); every other metric fails the gate when it regresses.
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> baseline;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      variants;
+};
+
+inline void write_json_value(std::FILE* os, double value) {
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    std::fprintf(os, "%lld", static_cast<long long>(value));
+  } else {
+    std::fprintf(os, "%.6f", value);
+  }
+}
+
+/// Writes the BENCH_*.json artifact: stable schema, two-space indent, keys
+/// in emission order so diffs against a checked-in baseline stay readable.
+inline bool write_bench_json(const std::string& path, const std::string& bench,
+                             const std::string& mode, int threads,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* os = std::fopen(path.c_str(), "w");
+  if (os == nullptr) return false;
+  std::fprintf(os, "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n  \"threads\": %d,\n",
+               bench.c_str(), mode.c_str(), threads);
+  std::fprintf(os, "  \"benchmarks\": [\n");
+  for (size_t r = 0; r < records.size(); ++r) {
+    const auto& rec = records[r];
+    std::fprintf(os, "    {\"name\": \"%s\",\n     \"baseline\": {", rec.name.c_str());
+    for (size_t i = 0; i < rec.baseline.size(); ++i) {
+      std::fprintf(os, "%s\"%s\": ", i ? ", " : "", rec.baseline[i].first.c_str());
+      write_json_value(os, rec.baseline[i].second);
+    }
+    std::fprintf(os, "},\n     \"variants\": {");
+    for (size_t v = 0; v < rec.variants.size(); ++v) {
+      std::fprintf(os, "%s\n       \"%s\": {", v ? "," : "",
+                   rec.variants[v].first.c_str());
+      const auto& metrics = rec.variants[v].second;
+      for (size_t i = 0; i < metrics.size(); ++i) {
+        std::fprintf(os, "%s\"%s\": ", i ? ", " : "", metrics[i].first.c_str());
+        write_json_value(os, metrics[i].second);
+      }
+      std::fprintf(os, "}");
+    }
+    std::fprintf(os, "\n     }}%s\n", r + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(os, "  ]\n}\n");
+  return std::fclose(os) == 0;
 }
 
 }  // namespace mighty::bench

@@ -13,7 +13,9 @@
 // database loads once and the oracle cache is shared across the whole table.
 //
 // Flags: --small (reduced operand widths), --full (paper-size operands;
-// default), --with-b (add the global bottom-up variant B).
+// default), --with-b (add the global bottom-up variant B), --threads n
+// (parallel session; results are bit-identical to --threads 1), --json FILE
+// (machine-readable BENCH_*.json for the tools/check_bench.py gate).
 
 #include <cmath>
 
@@ -27,16 +29,22 @@ using namespace mighty;
 int main(int argc, char** argv) {
   const bool small = bench::has_flag(argc, argv, "--small");
   const bool with_b = bench::has_flag(argc, argv, "--with-b");
+  const int threads = bench::int_flag(argc, argv, "--threads", 1);
+  const std::string json_path = bench::string_flag(argc, argv, "--json");
   std::vector<std::string> variants{"TF", "T", "TFD", "TD", "BF"};
   if (with_b) variants.push_back("B");
 
   printf("Table III: functional hashing (MIG size and depth)\n");
   printf("baseline = generated circuit after algebraic depth optimization\n");
-  printf("mode: %s\n\n", small ? "--small (reduced widths)" : "full (paper I/O sizes)");
+  printf("mode: %s, %d thread%s\n\n",
+         small ? "--small (reduced widths)" : "full (paper I/O sizes)", threads,
+         threads == 1 ? "" : "s");
 
   flow::Session session;
+  session.set_threads(static_cast<uint32_t>(threads > 0 ? threads : 1));
   session.database();  // load (or build) outside the timed region
   auto suite = bench::prepare_suite(small);
+  std::vector<bench::BenchRecord> records;
 
   printf("%-12s %6s | %8s %5s |", "Benchmark", "I/O", "S", "D");
   for (const auto& v : variants) printf(" %21s |", (v + "  (S, D, RT)").c_str());
@@ -53,6 +61,10 @@ int main(int argc, char** argv) {
     const uint32_t d0 = benchmark.baseline.depth();
     printf("%-12s %3u/%-3u | %8u %5u |", benchmark.name.c_str(),
            benchmark.baseline.num_pis(), benchmark.baseline.num_pos(), s0, d0);
+    bench::BenchRecord record;
+    record.name = benchmark.name;
+    record.baseline = {{"size", static_cast<double>(s0)},
+                       {"depth", static_cast<double>(d0)}};
 
     for (size_t vi = 0; vi < variants.size(); ++vi) {
       flow::FlowReport report;
@@ -60,6 +72,12 @@ int main(int argc, char** argv) {
                                  .run(benchmark.baseline, session, &report);
       printf(" %8u %5u %6.2f |", report.size_after, report.depth_after,
              report.seconds);
+      record.variants.emplace_back(
+          variants[vi],
+          std::vector<std::pair<std::string, double>>{
+              {"size", static_cast<double>(report.size_after)},
+              {"depth", static_cast<double>(report.depth_after)},
+              {"seconds", report.seconds}});
       size_ratio_sum[vi] += static_cast<double>(report.size_after) / s0;
       depth_ratio_sum[vi] += static_cast<double>(report.depth_after) / d0;
       // Fast equivalence filter on every result (full SAT proofs of the
@@ -70,6 +88,7 @@ int main(int argc, char** argv) {
       fflush(stdout);
     }
     printf("\n");
+    records.push_back(std::move(record));
     ++rows;
   }
 
@@ -83,5 +102,14 @@ int main(int argc, char** argv) {
          "BF 0.92/1.14)\n");
   printf("random-simulation equivalence filter: %s\n",
          all_equivalent ? "all pass" : "FAILURE DETECTED");
+  if (!json_path.empty()) {
+    if (bench::write_bench_json(json_path, "table3_functional_hashing",
+                                small ? "small" : "full", threads, records)) {
+      printf("machine-readable results: %s\n", json_path.c_str());
+    } else {
+      fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return all_equivalent ? 0 : 1;
 }

@@ -10,7 +10,9 @@
 // most instances, and the best result is spread across different variants
 // (the paper improved 7 of 8 best known results, one also in depth).
 //
-// Flags: --small / --full as in table3.
+// Flags: --small / --full as in table3, --threads n (parallel session;
+// results are bit-identical to --threads 1), --json FILE (machine-readable
+// BENCH_*.json for the tools/check_bench.py gate).
 
 #include "bench_util.hpp"
 #include "flow/flow.hpp"
@@ -20,14 +22,20 @@ using namespace mighty;
 
 int main(int argc, char** argv) {
   const bool small = bench::has_flag(argc, argv, "--small");
+  const int threads = bench::int_flag(argc, argv, "--threads", 1);
+  const std::string json_path = bench::string_flag(argc, argv, "--json");
   const std::vector<std::string> variants{"TF", "T", "TFD", "TD", "BF"};
 
   printf("Table IV: area and depth after 6-LUT technology mapping\n");
-  printf("mode: %s\n\n", small ? "--small (reduced widths)" : "full (paper I/O sizes)");
+  printf("mode: %s, %d thread%s\n\n",
+         small ? "--small (reduced widths)" : "full (paper I/O sizes)", threads,
+         threads == 1 ? "" : "s");
 
   flow::Session session;
+  session.set_threads(static_cast<uint32_t>(threads > 0 ? threads : 1));
   session.database();  // load (or build) outside the timed region
   auto suite = bench::prepare_suite(small);
+  std::vector<bench::BenchRecord> records;
 
   printf("%-12s | %9s %4s |", "Benchmark", "base A", "D");
   for (const auto& v : variants) printf(" %6s A %4s |", v.c_str(), "D");
@@ -47,6 +55,10 @@ int main(int argc, char** argv) {
     const auto* base_map = base_report.last_mapping();
     printf("%-12s | %9u %4u |", benchmark.name.c_str(), base_map->num_luts,
            base_map->lut_depth);
+    bench::BenchRecord record;
+    record.name = benchmark.name;
+    record.baseline = {{"luts", static_cast<double>(base_map->num_luts)},
+                       {"lut_depth", static_cast<double>(base_map->lut_depth)}};
     bool any_better = false;
     for (size_t vi = 0; vi < variants.size(); ++vi) {
       flow::FlowReport report;
@@ -54,6 +66,12 @@ int main(int argc, char** argv) {
           .run(benchmark.baseline, session, &report);
       const auto* mapped = report.last_mapping();
       printf(" %8u %4u |", mapped->num_luts, mapped->lut_depth);
+      record.variants.emplace_back(
+          variants[vi],
+          std::vector<std::pair<std::string, double>>{
+              {"luts", static_cast<double>(mapped->num_luts)},
+              {"lut_depth", static_cast<double>(mapped->lut_depth)},
+              {"seconds", report.seconds}});
       area_ratio_sum[vi] += static_cast<double>(mapped->num_luts) / base_map->num_luts;
       depth_ratio_sum[vi] +=
           static_cast<double>(mapped->lut_depth) / base_map->lut_depth;
@@ -66,6 +84,7 @@ int main(int argc, char** argv) {
     }
     if (any_better) ++improved_instances;
     printf("\n");
+    records.push_back(std::move(record));
     ++rows;
   }
 
@@ -78,5 +97,14 @@ int main(int argc, char** argv) {
          "(paper: 7 of 8)\n", improved_instances, rows);
   printf("(paper avg ratios: TF 0.97/1.01, T 1.02/1.00, TFD 0.96/1.00, "
          "TD 0.99/1.00, BF 0.99/1.01)\n");
+  if (!json_path.empty()) {
+    if (bench::write_bench_json(json_path, "table4_mapping",
+                                small ? "small" : "full", threads, records)) {
+      printf("machine-readable results: %s\n", json_path.c_str());
+    } else {
+      fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -28,6 +28,7 @@
 #include "gen/arith.hpp"
 #include "io/io.hpp"
 #include "mig/mig.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace mighty;
 
@@ -76,7 +77,9 @@ void Shell::command(const std::string& line) {
         "  depth_opt | size_opt  algebraic optimization (refs. [3], [4])\n"
         "  fh [variant]          functional hashing (default BF; T/TD/TF/TFD/B/...)\n"
         "  flow <script>         run a flow script, e.g.  TF;(BFD;size)*;map\n"
-        "                        (x*3 repeats, x* iterates to convergence)\n"
+        "                        (x*3 repeats, x* iterates to convergence,\n"
+        "                        parallel:4 runs later passes on 4 threads)\n"
+        "  threads [n]           set/show session parallelism (deterministic)\n"
         "  map [k]               k-LUT mapping (default 6)\n"
         "  cec                   SAT equivalence vs. the originally loaded network\n"
         "  snapshot              make the current network the cec reference\n"
@@ -109,6 +112,20 @@ void Shell::command(const std::string& line) {
     }
     original = current;
     print_stats("generated");
+    return;
+  }
+  if (cmd == "threads") {
+    uint32_t n = 0;
+    if (is >> n) {
+      if (n == 0 || n > util::ThreadPool::kMaxParallelism) {
+        printf("thread count must be between 1 and %u\n",
+               util::ThreadPool::kMaxParallelism);
+        return;
+      }
+      session.set_threads(n);
+    }
+    printf("session parallelism: %u thread%s (results are identical at any "
+           "count)\n", session.threads(), session.threads() == 1 ? "" : "s");
     return;
   }
   if (cmd == "read_blif") {

@@ -94,16 +94,24 @@ Database::LookupResult Database::lookup(const tt::TruthTable& f) const {
   if (f4.num_vars() != 4) {
     throw std::invalid_argument("database lookup requires at most 4 variables");
   }
-  if (const auto cached = lookup_cache_.find(f4.bits()); cached != lookup_cache_.end()) {
-    return cached->second;
+  LookupStripe& stripe = lookup_stripe(f4.bits());
+  {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (const auto cached = stripe.map.find(f4.bits()); cached != stripe.map.end()) {
+      return cached->second;
+    }
   }
+  // Canonize outside the lock: it is pure, and it dominates the miss cost.
+  // Two shards missing on the same function both compute the same result;
+  // emplace keeps the first and the duplicate is discarded.
   auto canon = npn::canonize(f4);
   const auto it = index_.find(canon.representative.bits());
   if (it == index_.end()) {
     throw std::logic_error("NPN class missing from database");  // cannot happen when complete
   }
   const LookupResult result{&entries_[it->second], canon.transform};
-  lookup_cache_.emplace(f4.bits(), result);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.map.emplace(f4.bits(), result);
   return result;
 }
 

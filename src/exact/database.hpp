@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -32,6 +34,28 @@ struct DatabaseEntry {
 
 class Database {
 public:
+  Database() = default;
+  /// Copies and moves transfer the entries but start with a cold lookup
+  /// memo: cached LookupResults hold pointers into the source's entry
+  /// storage, and the memo's stripe locks are not transferable anyway.
+  Database(const Database& other) : entries_(other.entries_), index_(other.index_) {}
+  Database(Database&& other) noexcept
+      : entries_(std::move(other.entries_)), index_(std::move(other.index_)) {}
+  Database& operator=(const Database& other) {
+    if (this != &other) {
+      entries_ = other.entries_;
+      index_ = other.index_;
+      clear_lookup_cache();
+    }
+    return *this;
+  }
+  Database& operator=(Database&& other) noexcept {
+    entries_ = std::move(other.entries_);
+    index_ = std::move(other.index_);
+    clear_lookup_cache();
+    return *this;
+  }
+
   /// Builds the database by exact synthesis over all 222 class
   /// representatives.  `options` tunes the underlying synthesis (budget,
   /// encoder).  Throws std::runtime_error if any class fails to synthesize
@@ -52,6 +76,7 @@ public:
   /// variables.  Returns the NPN canonization result alongside the entry, so
   /// the caller can instantiate the stored chain with transformed leaves:
   ///   f == apply(entry.representative, inverse(transform)).
+  /// Thread-safe: concurrent lookups share the striped canonization memo.
   struct LookupResult {
     const DatabaseEntry* entry;
     npn::Transform transform;  ///< canonizing transform of the query
@@ -75,8 +100,27 @@ private:
   std::vector<DatabaseEntry> entries_;
   std::unordered_map<uint64_t, size_t> index_;  ///< representative bits -> entry
   /// Canonization memo: cut functions repeat massively during rewriting, so
-  /// lookups cache the full result keyed by the query's bits.
-  mutable std::unordered_map<uint64_t, LookupResult> lookup_cache_;
+  /// lookups cache the full result keyed by the query's bits.  Lookups are
+  /// the hottest operation of every rewriting shard, so the memo is striped:
+  /// each stripe guards its own map, canonization happens outside any lock
+  /// (it is pure), and a racing duplicate insert is harmlessly dropped by
+  /// emplace.  Results are returned by value, never by reference into a map.
+  struct LookupStripe {
+    std::mutex mutex;
+    std::unordered_map<uint64_t, LookupResult> map;
+  };
+  static constexpr size_t kLookupStripes = 64;
+  mutable std::array<LookupStripe, kLookupStripes> lookup_cache_;
+
+  LookupStripe& lookup_stripe(uint64_t bits) const {
+    return lookup_cache_[(bits * 0x9e3779b97f4a7c15ull) >> 58 & (kLookupStripes - 1)];
+  }
+  void clear_lookup_cache() {
+    for (auto& stripe : lookup_cache_) {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      stripe.map.clear();
+    }
+  }
 };
 
 /// Default on-disk location used by tools, benches and tests: the

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/thread_pool.hpp"
+
+/// \file executor.hpp
+/// \brief The session's parallel execution engine.
+///
+/// An Executor owns the worker pool that shard-parallel passes share for the
+/// lifetime of a Session, so repeated pipeline runs never pay thread startup.
+/// Passes obtain it through Session::worker_pool(), which returns nullptr at
+/// parallelism 1 — the drivers then take their inline path, which executes
+/// the very same sharded algorithms, keeping `threads=N` bit-identical to
+/// `threads=1` (see shard.hpp for why the decomposition is deterministic).
+
+namespace mighty::flow {
+
+class Executor {
+public:
+  /// `threads` is total parallelism including the thread calling run();
+  /// an Executor of 1 thread performs no work (worker_pool() is nullptr).
+  explicit Executor(uint32_t threads) : pool_(threads) {}
+
+  uint32_t threads() const { return pool_.parallelism(); }
+
+  /// The pool to hand to shard-parallel passes; nullptr when this executor
+  /// is single-threaded (callers then run inline).
+  util::ThreadPool* worker_pool() {
+    return pool_.parallelism() > 1 ? &pool_ : nullptr;
+  }
+
+private:
+  util::ThreadPool pool_;
+};
+
+}  // namespace mighty::flow

@@ -3,13 +3,14 @@
 #include <string>
 
 #include "flow/pipeline.hpp"
+#include "util/thread_pool.hpp"
 
 /// Recursive-descent parser for the flow-script grammar (see pipeline.hpp):
 ///
 ///   sequence := item (';' item)*
 ///   item     := atom ['*' count | '*' '<' count | '*']
 ///   atom     := '(' sequence ')' | word
-///   word     := variant acronym | size | depth | map[k]
+///   word     := variant acronym | size | depth | map[k] | parallel[:]n
 ///
 /// Case-insensitive; whitespace between tokens is insignificant (a token
 /// itself cannot be split: "ma p" is not "map"); empty items ("TF;;BF",
@@ -123,6 +124,21 @@ private:
     Pipeline result;
     if (text == "size") return result.size_opt(), result;
     if (text == "depth") return result.depth_opt(), result;
+    if (text == "parallel") {
+      // "parallel:n" (the canonical form emitted by to_string) or "paralleln".
+      consume(':');
+      skip_space();
+      if (pos_ >= script_.size() ||
+          !std::isdigit(static_cast<unsigned char>(script_[pos_]))) {
+        fail("expected a thread count after 'parallel'");
+      }
+      const uint32_t threads = integer();
+      if (threads == 0 || threads > util::ThreadPool::kMaxParallelism) {
+        fail("thread count out of range in 'parallel:" + std::to_string(threads) +
+             "'");
+      }
+      return result.add(make_parallel_pass(threads)), result;
+    }
     if (text == "map") {
       map::MapParams params;
       if (pos_ < script_.size() &&

@@ -105,5 +105,9 @@ std::unique_ptr<Pass> make_size_pass(const algebra::SizeOptParams& params = {});
 std::unique_ptr<Pass> make_depth_pass(const algebra::DepthOptParams& params = {});
 /// k-LUT mapping; records LUT count and LUT depth, returns the MIG unchanged.
 std::unique_ptr<Pass> make_lut_map_pass(const map::MapParams& params = {});
+/// Execution directive: sets the session's parallelism for every subsequent
+/// pass (script form "parallel:n").  Returns the network unchanged and adds
+/// no trajectory entry — it transforms the engine, not the MIG.
+std::unique_ptr<Pass> make_parallel_pass(uint32_t threads);
 
 }  // namespace mighty::flow

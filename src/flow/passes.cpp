@@ -55,7 +55,11 @@ public:
 
     const auto before = OracleCounters::of(oracle);
     opt::RewriteStats stats;
-    auto result = opt::functional_hashing(mig, oracle, params_, &stats);
+    // The session's worker pool is injected at run time, so one Pipeline can
+    // serve sessions of any parallelism (results are identical either way).
+    opt::RewriteParams params = params_;
+    params.pool = session.worker_pool();
+    auto result = opt::functional_hashing(mig, oracle, params, &stats);
     const auto after = OracleCounters::of(oracle);
 
     PassStats entry;
@@ -91,10 +95,13 @@ public:
 
   std::string name() const override { return "size"; }
 
-  mig::Mig run(const mig::Mig& mig, Session&, FlowReport& report) const override {
+  mig::Mig run(const mig::Mig& mig, Session& session,
+               FlowReport& report) const override {
     const auto start = std::chrono::steady_clock::now();
     algebra::AlgebraStats stats;
-    auto result = algebra::size_optimize(mig, params_, &stats);
+    algebra::SizeOptParams params = params_;
+    params.pool = session.worker_pool();
+    auto result = algebra::size_optimize(mig, params, &stats);
     PassStats entry;
     entry.name = name();
     entry.size_before = stats.size_before;
@@ -175,6 +182,29 @@ private:
   map::MapParams params_;
 };
 
+/// Execution directive: "parallel:n" adjusts the session's thread count and
+/// leaves both the network and the trajectory untouched.
+class ParallelPass final : public Pass {
+public:
+  explicit ParallelPass(uint32_t threads) : threads_(threads) {}
+
+  std::string name() const override {
+    return "parallel:" + std::to_string(threads_);
+  }
+
+  mig::Mig run(const mig::Mig& mig, Session& session, FlowReport&) const override {
+    session.set_threads(threads_);
+    return mig;
+  }
+
+  std::unique_ptr<Pass> clone() const override {
+    return std::make_unique<ParallelPass>(threads_);
+  }
+
+private:
+  uint32_t threads_;
+};
+
 }  // namespace
 
 std::unique_ptr<Pass> make_rewrite_pass(const std::string& variant) {
@@ -200,6 +230,10 @@ std::unique_ptr<Pass> make_depth_pass(const algebra::DepthOptParams& params) {
 
 std::unique_ptr<Pass> make_lut_map_pass(const map::MapParams& params) {
   return std::make_unique<LutMapPass>(params);
+}
+
+std::unique_ptr<Pass> make_parallel_pass(uint32_t threads) {
+  return std::make_unique<ParallelPass>(threads == 0 ? 1 : threads);
 }
 
 }  // namespace mighty::flow

@@ -149,6 +149,10 @@ Pipeline& Pipeline::lut_map(const map::MapParams& params) {
   return add(make_lut_map_pass(params));
 }
 
+Pipeline& Pipeline::parallel(uint32_t threads) {
+  return add(make_parallel_pass(threads));
+}
+
 Pipeline Pipeline::repeat(uint32_t times) const {
   Pipeline result;
   result.add(std::make_unique<RepeatPass>(*this, times));

@@ -37,6 +37,7 @@
 ///   word     := T|TD|TF|TFD|B|BD|BF|BFD     -- functional-hashing variants
 ///             | size | depth                -- algebraic optimization
 ///             | map[k]                      -- k-LUT mapping, default k=6
+///             | parallel:n                  -- run later passes on n threads
 
 namespace mighty::flow {
 
@@ -68,6 +69,8 @@ public:
   Pipeline& depth_opt(const algebra::DepthOptParams& params = {});
   /// Appends a k-LUT mapping (analysis) pass.
   Pipeline& lut_map(const map::MapParams& params = {});
+  /// Appends a "parallel:n" directive: later passes run on n threads.
+  Pipeline& parallel(uint32_t threads);
 
   // --- combinators (value semantics; *this is not modified) ------------------
 

@@ -1,5 +1,7 @@
 #include "flow/session.hpp"
 
+#include <algorithm>
+
 namespace mighty::flow {
 
 Session::Session(exact::Database db, SessionParams params)
@@ -20,6 +22,23 @@ const exact::Database& Session::database() {
 opt::ReplacementOracle& Session::oracle() {
   if (!oracle_) oracle_.emplace(database(), params_.oracle);
   return *oracle_;
+}
+
+void Session::set_threads(uint32_t threads) {
+  if (threads == 0) threads = 1;
+  // Same ceiling the script grammar enforces; C++ callers get clamped
+  // rather than an absurd spawn attempt.
+  threads = std::min(threads, util::ThreadPool::kMaxParallelism);
+  if (threads == params_.threads) return;
+  params_.threads = threads;
+  executor_.reset();  // re-materializes lazily at the new width
+}
+
+Executor& Session::executor() {
+  if (!executor_ || executor_->threads() != threads()) {
+    executor_ = std::make_unique<Executor>(threads());
+  }
+  return *executor_;
 }
 
 }  // namespace mighty::flow

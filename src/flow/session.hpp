@@ -1,10 +1,13 @@
 #pragma once
 
+#include <algorithm>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "exact/database.hpp"
 #include "exact/exact_synthesis.hpp"
+#include "flow/executor.hpp"
 #include "opt/oracle.hpp"
 
 /// \file session.hpp
@@ -29,6 +32,10 @@ struct SessionParams {
   /// is enabled by default: passes that never enumerate 5-cuts never query
   /// it, and passes that do share one cache for the whole session.
   opt::OracleParams oracle{.enable_five_input = true};
+  /// Parallelism for shard-parallel passes (1 = everything inline).  The
+  /// sharded FFR passes produce bit-identical networks for every value; the
+  /// script token "parallel:n" and Session::set_threads() change it later.
+  uint32_t threads = 1;
 };
 
 class Session {
@@ -63,10 +70,34 @@ public:
 
   const SessionParams& params() const { return params_; }
 
+  // --- parallel execution -----------------------------------------------------
+
+  /// Sets the parallelism of subsequent pipeline runs (0 is treated as 1).
+  /// Shard-parallel passes produce bit-identical networks for every value,
+  /// so this is purely a throughput knob.  Rebuilds the executor on change.
+  void set_threads(uint32_t threads);
+  /// Effective parallelism.  Clamped exactly as the executor's pool clamps,
+  /// also for widths smuggled in through SessionParams — otherwise executor()
+  /// would see a perpetual mismatch and respawn its pool on every pass.
+  uint32_t threads() const {
+    const uint32_t t = params_.threads == 0 ? 1 : params_.threads;
+    return std::min(t, util::ThreadPool::kMaxParallelism);
+  }
+
+  /// The session's parallel execution engine, created on first use.
+  Executor& executor();
+
+  /// Pool for shard-parallel passes: nullptr at parallelism 1, so passes
+  /// take the inline path without materializing an executor.
+  util::ThreadPool* worker_pool() {
+    return threads() > 1 ? executor().worker_pool() : nullptr;
+  }
+
 private:
   SessionParams params_;
   std::optional<exact::Database> database_;
   std::optional<opt::ReplacementOracle> oracle_;
+  std::unique_ptr<Executor> executor_;
 };
 
 }  // namespace mighty::flow

@@ -1,9 +1,14 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "mig/mig.hpp"
+
+namespace mighty::util {
+class ThreadPool;
+}
 
 /// \file algebra.hpp
 /// \brief MIG algebraic rewriting (the paper's baseline substrate).
@@ -28,7 +33,12 @@ public:
   explicit LevelTracker(mig::Mig& m);
 
   mig::Signal maj(mig::Signal a, mig::Signal b, mig::Signal c);
-  uint32_t level(mig::Signal s) const { return levels_[s.index()]; }
+  uint32_t level(mig::Signal s) const {
+    // Nodes must be created through maj() (or exist at construction);
+    // anything else would read a level the tracker never computed.
+    assert(s.index() < levels_.size());
+    return levels_[s.index()];
+  }
   mig::Mig& network() { return mig_; }
 
 private:
@@ -65,6 +75,12 @@ mig::Mig depth_optimize(const mig::Mig& m, const DepthOptParams& params = {},
 
 struct SizeOptParams {
   uint32_t max_rounds = 4;
+  /// Worker pool for the shard-parallel rewrite.  The reverse-distributivity
+  /// rule only ever fires on single-fanout gate pairs, which are confined to
+  /// one fanout-free region by definition, so regions rewrite independently
+  /// and merge deterministically — the result is bit-identical for any pool
+  /// size, including none.  Not owned.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Algebraic size reduction: reverse distributivity and majority/relevance

@@ -50,9 +50,12 @@ mig::Mig depth_optimize(const mig::Mig& m, const DepthOptParams& params,
     // budget; this is checked both across rounds and within the rebuild.
     const bool round_may_grow = source.count_live_gates() < size_budget;
     mig::Mig next;
-    LevelTracker tracker(next);
     std::vector<mig::Signal> map(source.num_nodes(), next.get_constant(false));
     for (uint32_t i = 0; i < source.num_pis(); ++i) map[1 + i] = next.create_pi();
+    // The tracker must see the PIs at construction: levels are refreshed only
+    // by tracker.maj(), so nodes created behind its back would be read out of
+    // bounds on the first level() query (found by the TSan CI leg).
+    LevelTracker tracker(next);
 
     bool changed = false;
     for (uint32_t n = 0; n < source.num_nodes(); ++n) {

@@ -55,53 +55,89 @@ Cut trivial_cut(uint32_t node) {
   return c;
 }
 
+/// The merge kernel shared by global and shard-scoped enumeration: builds
+/// gate n's cut set into `out` from its fanins' sets.  `forced_leaf(f)`
+/// decides which fanins contribute only their trivial cut — the single
+/// point where the two enumeration modes differ, kept as a predicate so the
+/// kernels cannot drift apart (sharded cut sets must stay bit-identical to
+/// global ones for the same boundary).
+template <typename ForcedLeaf>
+void build_node_cuts(const mig::Mig& mig, const CutEnumerationParams& params,
+                     uint32_t n, ForcedLeaf&& forced_leaf,
+                     const std::vector<std::vector<Cut>>& sets,
+                     std::vector<Cut>& out) {
+  auto fanin_set = [&](mig::Signal s) -> std::vector<Cut> {
+    const uint32_t f = s.index();
+    if (mig.is_constant(f)) return {Cut{}};  // empty cut: paths exempt
+    if (forced_leaf(f)) return {trivial_cut(f)};
+    return sets[f];
+  };
+  const auto& f = mig.fanins(n);
+  const auto set0 = fanin_set(f[0]);
+  const auto set1 = fanin_set(f[1]);
+  const auto set2 = fanin_set(f[2]);
+
+  Cut ab;
+  Cut abc;
+  for (const Cut& c0 : set0) {
+    for (const Cut& c1 : set1) {
+      if (!merge_cuts(c0, c1, params.cut_size, ab)) continue;
+      for (const Cut& c2 : set2) {
+        if (!merge_cuts(ab, c2, params.cut_size, abc)) continue;
+        insert_cut(out, abc, params.max_cuts);
+      }
+    }
+  }
+  if (params.include_trivial) {
+    insert_cut(out, trivial_cut(n), /*max_cuts=*/0);
+  }
+}
+
 }  // namespace
 
 std::vector<std::vector<Cut>> enumerate_cuts(const mig::Mig& mig,
                                              const CutEnumerationParams& params) {
   assert(params.cut_size <= Cut::max_size);
-  const uint32_t k = params.cut_size;
   std::vector<std::vector<Cut>> sets(mig.num_nodes());
 
   // The constant node contributes the empty cut, so that paths to it are
   // exempt from the covering requirement.
   sets[mig::Mig::constant_node] = {Cut{}};
 
-  const std::vector<Cut> empty_fallback;
+  auto boundary_leaf = [&](uint32_t f) {
+    return params.boundary != nullptr && f < params.boundary->size() &&
+           (*params.boundary)[f];
+  };
   for (uint32_t n = 1; n < mig.num_nodes(); ++n) {
     if (mig.is_pi(n)) {
       sets[n] = {trivial_cut(n)};
       continue;
     }
-    auto fanin_set = [&](mig::Signal s) -> std::vector<Cut> {
-      const uint32_t f = s.index();
-      const bool forced_leaf =
-          params.boundary != nullptr && f < params.boundary->size() && (*params.boundary)[f];
-      if (forced_leaf && !mig.is_constant(f)) return {trivial_cut(f)};
-      return sets[f];
-    };
-    const auto& f = mig.fanins(n);
-    const auto set0 = fanin_set(f[0]);
-    const auto set1 = fanin_set(f[1]);
-    const auto set2 = fanin_set(f[2]);
-
-    std::vector<Cut>& out = sets[n];
-    Cut ab;
-    Cut abc;
-    for (const Cut& c0 : set0) {
-      for (const Cut& c1 : set1) {
-        if (!merge_cuts(c0, c1, k, ab)) continue;
-        for (const Cut& c2 : set2) {
-          if (!merge_cuts(ab, c2, k, abc)) continue;
-          insert_cut(out, abc, params.max_cuts);
-        }
-      }
-    }
-    if (params.include_trivial) {
-      insert_cut(out, trivial_cut(n), /*max_cuts=*/0);
-    }
+    build_node_cuts(mig, params, n, boundary_leaf, sets, sets[n]);
   }
   return sets;
+}
+
+void enumerate_cuts_scoped(const mig::Mig& mig, const CutEnumerationParams& params,
+                           const std::vector<uint32_t>& scope,
+                           std::vector<std::vector<Cut>>& sets) {
+  assert(params.cut_size <= Cut::max_size);
+  assert(sets.size() == mig.num_nodes());
+  std::vector<bool> in_scope(mig.num_nodes(), false);
+  for (const uint32_t n : scope) in_scope[n] = true;
+
+  // Leaf decisions must never read another shard's slots: out-of-scope
+  // fanins are cut off by value, exactly as the boundary mask would.
+  auto forced_leaf = [&](uint32_t f) {
+    return !in_scope[f] ||
+           (params.boundary != nullptr && f < params.boundary->size() &&
+            (*params.boundary)[f]);
+  };
+  for (const uint32_t n : scope) {
+    assert(mig.is_gate(n));
+    sets[n].clear();
+    build_node_cuts(mig, params, n, forced_leaf, sets, sets[n]);
+  }
 }
 
 uint64_t total_cut_count(const std::vector<std::vector<Cut>>& cut_sets) {

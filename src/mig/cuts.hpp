@@ -66,6 +66,18 @@ struct CutEnumerationParams {
 std::vector<std::vector<Cut>> enumerate_cuts(const mig::Mig& mig,
                                              const CutEnumerationParams& params = {});
 
+/// Shard-scoped enumeration: computes cut sets for exactly the gates in
+/// `scope` (ascending node ids), writing each gate's set into `sets[gate]`.
+/// Fanins outside the scope — and boundary nodes inside it — contribute only
+/// their trivial cut (the constant node its empty cut), so a scope that is a
+/// union of whole fanout-free regions reproduces, for its own nodes, exactly
+/// what enumerate_cuts would compute over the full network with the same
+/// boundary.  `sets` must be sized to mig.num_nodes(); concurrent calls over
+/// disjoint scopes may share it, since each call touches only its own slots.
+void enumerate_cuts_scoped(const mig::Mig& mig, const CutEnumerationParams& params,
+                           const std::vector<uint32_t>& scope,
+                           std::vector<std::vector<Cut>>& sets);
+
 /// Total number of cuts across all nodes (reporting helper).
 uint64_t total_cut_count(const std::vector<std::vector<Cut>>& cut_sets);
 

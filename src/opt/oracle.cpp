@@ -12,28 +12,35 @@ ReplacementOracle::ReplacementOracle(const exact::Database& db,
     : db_(db), params_(params) {}
 
 const exact::MigChain* ReplacementOracle::five_input_chain(const tt::TruthTable& f5) {
-  const auto it = cache5_.find(f5.bits());
-  if (it != cache5_.end()) {
-    ++cache5_hits_;
+  const uint64_t key = f5.bits();
+  CacheStripe& stripe = cache5_[(key * 0x9e3779b97f4a7c15ull) >> 60 & (kCacheStripes - 1)];
+  // Synthesis runs under the stripe lock: concurrent queries for the same
+  // function would otherwise both pay the SAT solver, and the hit/synthesis
+  // counters would depend on thread interleaving.  Functions in other
+  // stripes proceed unhindered.
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto it = stripe.map.find(key);
+  if (it != stripe.map.end()) {
+    cache5_hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second ? &*it->second : nullptr;
   }
   exact::SynthesisOptions options;
   options.max_gates = params_.max_gates;
   options.conflict_limit = params_.synthesis_conflict_limit;
   const auto result = exact::synthesize_minimum_mig(f5, options);
-  ++synthesized_;
+  synthesized_.fetch_add(1, std::memory_order_relaxed);
   if (result.status == exact::SynthesisStatus::success) {
-    auto [pos, inserted] = cache5_.emplace(f5.bits(), result.chain);
+    auto [pos, inserted] = stripe.map.emplace(key, result.chain);
     (void)inserted;
     return &*pos->second;
   }
-  ++failures_;
-  cache5_.emplace(f5.bits(), std::nullopt);
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  stripe.map.emplace(key, std::nullopt);
   return nullptr;
 }
 
 std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthTable& f) {
-  ++queries_;
+  queries_.fetch_add(1, std::memory_order_relaxed);
   Info info;
   info.input_depths.assign(f.num_vars(), -1);
 
@@ -52,7 +59,7 @@ std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthT
         info.input_depths[old_vars[g_var]] = depths[i];
       }
     }
-    ++answered_;
+    answered_.fetch_add(1, std::memory_order_relaxed);
     return info;
   }
 
@@ -63,7 +70,7 @@ std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthT
   info.depth = chain->depth();
   const auto depths = chain_input_depths(*chain);
   for (uint32_t v = 0; v < f.num_vars(); ++v) info.input_depths[v] = depths[v];
-  ++answered_;
+  answered_.fetch_add(1, std::memory_order_relaxed);
   return info;
 }
 

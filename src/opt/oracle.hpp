@@ -1,5 +1,8 @@
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +25,14 @@
 ///    mechanism.  Synthesis is budgeted both in gate count (it only needs to
 ///    beat the cut's cone) and in SAT conflicts; failures are cached as
 ///    "no replacement".
+///
+/// The oracle is shared by every shard of a parallel pass, so query() and
+/// instantiate() are safe to call concurrently: the 5-input cache is striped
+/// (each stripe a mutex-guarded map, with synthesis performed under the
+/// stripe lock so a function is synthesized exactly once no matter how many
+/// shards race for it), and the accounting is atomic.  Because answers are a
+/// pure function of the queried truth table, cache behavior and every counter
+/// are identical whether one thread queries or eight do.
 
 namespace mighty::opt {
 
@@ -48,42 +59,60 @@ public:
 
   /// Returns the replacement structure for a cut function over at most five
   /// variables (in cut-leaf order), or std::nullopt if no structure is known
-  /// within the budgets.
+  /// within the budgets.  Thread-safe.
   std::optional<Info> query(const tt::TruthTable& f);
 
   /// Builds the replacement in `mig`; `leaves[v]` drives variable v of f.
   /// Must only be called after a successful query for the same function.
+  /// Thread-safe as long as no other thread touches the same `mig`.
   mig::Signal instantiate(const tt::TruthTable& f, mig::Mig& mig,
                           const std::vector<mig::Signal>& leaves);
 
   /// Number of on-demand syntheses performed / failed (for reporting).
-  uint64_t synthesized_count() const { return synthesized_; }
-  uint64_t synthesis_failures() const { return failures_; }
+  uint64_t synthesized_count() const {
+    return synthesized_.load(std::memory_order_relaxed);
+  }
+  uint64_t synthesis_failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
 
   /// Query accounting across the oracle's lifetime (flows share one oracle
   /// over many passes, so these measure cross-pass cache effectiveness).
-  uint64_t queries() const { return queries_; }
+  uint64_t queries() const { return queries_.load(std::memory_order_relaxed); }
   /// Queries answered with a replacement structure (4-input lookups always
   /// hit; 5-input queries hit when cached or synthesized within budget).
-  uint64_t answered() const { return answered_; }
+  uint64_t answered() const { return answered_.load(std::memory_order_relaxed); }
   /// 5-input queries resolved from the cache without touching the SAT solver.
-  uint64_t cache5_hits() const { return cache5_hits_; }
+  uint64_t cache5_hits() const { return cache5_hits_.load(std::memory_order_relaxed); }
   /// Fraction of queries answered; 1.0 when no query was made.
   double hit_rate() const {
-    return queries_ == 0 ? 1.0 : static_cast<double>(answered_) / queries_;
+    const uint64_t q = queries();
+    return q == 0 ? 1.0 : static_cast<double>(answered()) / q;
   }
 
 private:
+  /// One lock-striped slice of the 5-input cache.  16 stripes keep cross-
+  /// shard contention negligible while a per-stripe lock makes "look up or
+  /// synthesize" a single atomic step.
+  struct CacheStripe {
+    std::mutex mutex;
+    std::unordered_map<uint64_t, std::optional<exact::MigChain>> map;
+  };
+  static constexpr size_t kCacheStripes = 16;
+
+  /// Chains are created once and never erased, and unordered_map never moves
+  /// its elements, so the returned pointer stays valid after the stripe lock
+  /// is released.
   const exact::MigChain* five_input_chain(const tt::TruthTable& f5);
 
   const exact::Database& db_;
   OracleParams params_;
-  std::unordered_map<uint64_t, std::optional<exact::MigChain>> cache5_;
-  uint64_t synthesized_ = 0;
-  uint64_t failures_ = 0;
-  uint64_t queries_ = 0;
-  uint64_t answered_ = 0;
-  uint64_t cache5_hits_ = 0;
+  std::array<CacheStripe, kCacheStripes> cache5_;
+  std::atomic<uint64_t> synthesized_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> answered_{0};
+  std::atomic<uint64_t> cache5_hits_{0};
 };
 
 }  // namespace mighty::opt

@@ -8,6 +8,10 @@
 #include "mig/cuts.hpp"
 #include "mig/mig.hpp"
 
+namespace mighty::util {
+class ThreadPool;
+}
+
 /// \file rewrite.hpp
 /// \brief MIG size optimization by functional hashing (paper Sec. IV).
 ///
@@ -45,6 +49,13 @@ struct RewriteParams {
   bool five_input_cuts = false;
   /// Conflict budget per on-demand synthesis decision problem.
   int64_t synthesis_conflict_limit = 20000;
+  /// Worker pool for the fanout-free-region variants: their per-region
+  /// analysis (cut enumeration, simulation, oracle queries, candidate
+  /// search) runs on balanced FFR shards concurrently, followed by a
+  /// deterministic sequential merge — so the result is bit-identical for
+  /// any pool size, including none.  Global variants ignore the pool (their
+  /// cuts cross region boundaries and serialize).  Not owned.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct RewriteStats {

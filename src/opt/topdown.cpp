@@ -1,15 +1,26 @@
 #include <optional>
 
 #include "mig/ffr.hpp"
+#include "mig/shard.hpp"
 #include "mig/simulation.hpp"
 #include "opt/oracle.hpp"
 #include "opt/rewrite.hpp"
+#include "util/thread_pool.hpp"
 
 /// Top-down functional hashing (paper Algorithm 1): starting from the
 /// outputs, greedily replace the cut with the best size reduction and recur
 /// on its leaves; where no cut improves, copy the node and recur on the
 /// fanins.  Implemented as an explicit two-phase pass (plan top-down, build
 /// bottom-up) so deep networks cannot overflow the stack.
+///
+/// In FFR mode the plan phase decomposes perfectly: cuts are confined to
+/// fanout-free regions, so the plan chosen for a node depends only on its own
+/// region (plus the shared read-only oracle) — never on planning order.  The
+/// driver therefore plans balanced shards of whole regions concurrently and
+/// merges by a deterministic sequential rebuild, which makes the result
+/// bit-identical for every thread count.  Global mode keeps the sequential
+/// walk: its cuts cross region boundaries, so no disjoint decomposition
+/// exists.
 
 namespace mighty::opt {
 
@@ -17,84 +28,113 @@ namespace {
 
 struct Plan {
   bool replace = false;
+  bool visited = false;  ///< planning reached this node (FFR mode bookkeeping)
   std::vector<uint32_t> leaves;
   tt::TruthTable func;  ///< cut function over the leaves
 };
 
-}  // namespace
+struct PlanCounters {
+  uint64_t cuts_evaluated = 0;
+  uint64_t replacements = 0;
+};
 
-mig::Mig rewrite_top_down(const mig::Mig& mig, ReplacementOracle& oracle,
-                          const RewriteParams& params, RewriteStats& stats) {
-  cuts::CutEnumerationParams cut_params;
-  cut_params.cut_size =
-      params.five_input_cuts ? std::max(params.cut_size, 5u) : params.cut_size;
-  cut_params.max_cuts = params.max_cuts;
-  std::vector<bool> boundary;
-  if (params.ffr_partition) {
-    const auto partition = ffr::compute_ffrs(mig);
-    boundary = ffr::ffr_boundary(partition);
-    cut_params.boundary = &boundary;
+/// Chooses the best replacement cut for `v`, or nullopt to keep the node.
+std::optional<Plan> choose_plan(const mig::Mig& mig, ReplacementOracle& oracle,
+                                const RewriteParams& params,
+                                const std::vector<cuts::Cut>& cut_set,
+                                const std::vector<uint32_t>& fanout,
+                                const std::vector<uint32_t>& levels, uint32_t v,
+                                PlanCounters& counters) {
+  int best_gain = 0;
+  std::optional<Plan> best;
+  for (const auto& cut : cut_set) {
+    if (cut.size == 1 && cut.leaves[0] == v) continue;  // trivial cut
+    const auto leaves = cut.leaf_vector();
+    const auto cone = cut_cone(mig, v, leaves);
+    // In global mode, discard cuts whose internal nodes have external
+    // fanout (paper Sec. IV-C, first option); FFR cuts are confined by
+    // construction.
+    if (!params.ffr_partition && !cone_is_replaceable(mig, cone, v, fanout)) {
+      continue;
+    }
+    ++counters.cuts_evaluated;
+    const auto f = mig::simulate_cut(mig, v, leaves);
+    const auto info = oracle.query(f);
+    if (!info) continue;
+    const int gain = static_cast<int>(cone.size()) - static_cast<int>(info->size);
+    if (gain <= best_gain) continue;
+    if (params.depth_preserving) {
+      // Estimated level of the replacement root (paper Sec. IV-A: discard
+      // cuts whose minimum MIG locally increases the depth).
+      uint32_t new_level = 0;
+      for (uint32_t lv = 0; lv < leaves.size(); ++lv) {
+        if (info->input_depths[lv] < 0) continue;
+        new_level = std::max(new_level, levels[leaves[lv]] +
+                                            static_cast<uint32_t>(info->input_depths[lv]));
+      }
+      if (new_level > levels[v] + params.depth_slack) continue;
+    }
+    best_gain = gain;
+    best = Plan{true, true, leaves, f};
   }
-  const auto cut_sets = cuts::enumerate_cuts(mig, cut_params);
-  const auto fanout = mig.compute_fanout_counts();
-  const auto levels = mig.compute_levels();
+  return best;
+}
 
-  // --- phase 1: choose, per needed node, the best replacement cut ------------
+/// Plans one fanout-free region top-down from its root.  Writes only to the
+/// region's own plan slots, so regions plan concurrently without contention.
+void plan_region(const mig::Mig& mig, ReplacementOracle& oracle,
+                 const RewriteParams& params,
+                 const std::vector<std::vector<cuts::Cut>>& cut_sets,
+                 const std::vector<uint32_t>& fanout,
+                 const std::vector<uint32_t>& levels,
+                 const ffr::FfrPartition& partition, uint32_t root,
+                 std::vector<Plan>& plans, PlanCounters& counters) {
+  const auto in_region = [&](uint32_t n) {
+    return mig.is_gate(n) && partition.region_root[n] == root;
+  };
+  std::vector<uint32_t> stack{root};
+  while (!stack.empty()) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    if (plans[v].visited) continue;
+    plans[v].visited = true;
+
+    auto best = choose_plan(mig, oracle, params, cut_sets[v], fanout, levels, v,
+                            counters);
+    if (best) {
+      plans[v] = std::move(*best);
+      ++counters.replacements;
+      for (const uint32_t l : plans[v].leaves) {
+        if (in_region(l)) stack.push_back(l);
+      }
+    } else {
+      for (const mig::Signal s : mig.fanins(v)) {
+        if (in_region(s.index())) stack.push_back(s.index());
+      }
+    }
+  }
+}
+
+/// Phase 2 shared by both modes: walk the plans from the outputs to find the
+/// needed nodes, then rebuild in ascending (= topological) node order.
+mig::Mig rebuild_from_plans(const mig::Mig& mig, ReplacementOracle& oracle,
+                            const std::vector<Plan>& plans) {
   std::vector<int8_t> needed(mig.num_nodes(), 0);
-  std::vector<Plan> plans(mig.num_nodes());
   std::vector<uint32_t> stack;
   for (const mig::Signal o : mig.outputs()) stack.push_back(o.index());
-
   while (!stack.empty()) {
     const uint32_t v = stack.back();
     stack.pop_back();
     if (needed[v]) continue;
     needed[v] = 1;
     if (!mig.is_gate(v)) continue;
-
-    int best_gain = 0;
-    std::optional<Plan> best;
-    for (const auto& cut : cut_sets[v]) {
-      if (cut.size == 1 && cut.leaves[0] == v) continue;  // trivial cut
-      const auto leaves = cut.leaf_vector();
-      const auto cone = cut_cone(mig, v, leaves);
-      // In global mode, discard cuts whose internal nodes have external
-      // fanout (paper Sec. IV-C, first option); FFR cuts are confined by
-      // construction.
-      if (!params.ffr_partition && !cone_is_replaceable(mig, cone, v, fanout)) {
-        continue;
-      }
-      ++stats.cuts_evaluated;
-      const auto f = mig::simulate_cut(mig, v, leaves);
-      const auto info = oracle.query(f);
-      if (!info) continue;
-      const int gain = static_cast<int>(cone.size()) - static_cast<int>(info->size);
-      if (gain <= best_gain) continue;
-      if (params.depth_preserving) {
-        // Estimated level of the replacement root (paper Sec. IV-A: discard
-        // cuts whose minimum MIG locally increases the depth).
-        uint32_t new_level = 0;
-        for (uint32_t lv = 0; lv < leaves.size(); ++lv) {
-          if (info->input_depths[lv] < 0) continue;
-          new_level = std::max(new_level, levels[leaves[lv]] +
-                                              static_cast<uint32_t>(info->input_depths[lv]));
-        }
-        if (new_level > levels[v] + params.depth_slack) continue;
-      }
-      best_gain = gain;
-      best = Plan{true, leaves, f};
-    }
-
-    if (best) {
-      plans[v] = std::move(*best);
+    if (plans[v].replace) {
       for (const uint32_t l : plans[v].leaves) stack.push_back(l);
-      ++stats.replacements;
     } else {
       for (const mig::Signal s : mig.fanins(v)) stack.push_back(s.index());
     }
   }
 
-  // --- phase 2: rebuild in ascending (= topological) node order --------------
   mig::Mig result;
   std::vector<mig::Signal> map(mig.num_nodes(), result.get_constant(false));
   for (uint32_t i = 0; i < mig.num_pis(); ++i) {
@@ -118,6 +158,100 @@ mig::Mig rewrite_top_down(const mig::Mig& mig, ReplacementOracle& oracle,
     result.create_po(map[o.index()] ^ o.is_complemented());
   }
   return result;
+}
+
+/// FFR mode: plan shards of whole regions concurrently, then rebuild.
+///
+/// Every live region is planned, including the rare region that ends up
+/// unreachable because every replacement referencing its root bypassed it.
+/// That is deliberate: reachability-under-plans is only known after planning,
+/// so skipping such regions would reintroduce a sequential dependency (and
+/// thread-count-dependent stats).  The cost is bounded by the region's cut
+/// work and shows up identically at every thread count.
+mig::Mig rewrite_top_down_ffr(const mig::Mig& mig, ReplacementOracle& oracle,
+                              const RewriteParams& params, RewriteStats& stats) {
+  cuts::CutEnumerationParams cut_params;
+  cut_params.cut_size =
+      params.five_input_cuts ? std::max(params.cut_size, 5u) : params.cut_size;
+  cut_params.max_cuts = params.max_cuts;
+  const auto partition = ffr::compute_ffrs(mig);
+  const auto boundary = ffr::ffr_boundary(partition);
+  cut_params.boundary = &boundary;
+  const auto fanout = mig.compute_fanout_counts();
+  const auto levels = mig.compute_levels();
+
+  const uint32_t parallelism = params.pool ? params.pool->parallelism() : 1;
+  // A few shards per thread lets the dynamic scheduler even out skewed
+  // region sizes; the plan itself never affects the result.
+  const auto plan =
+      shard::plan_ffr_shards(mig, partition, parallelism > 1 ? parallelism * 4 : 1);
+
+  std::vector<std::vector<cuts::Cut>> cut_sets(mig.num_nodes());
+  std::vector<Plan> plans(mig.num_nodes());
+  std::vector<PlanCounters> counters(plan.shards.size());
+  auto run_shard = [&](size_t s) {
+    const auto& shard = plan.shards[s];
+    enumerate_cuts_scoped(mig, cut_params, shard.nodes, cut_sets);
+    for (const uint32_t root : shard.roots) {
+      plan_region(mig, oracle, params, cut_sets, fanout, levels, partition, root,
+                  plans, counters[s]);
+    }
+  };
+  if (params.pool != nullptr) {
+    params.pool->parallel_for(plan.shards.size(), run_shard);
+  } else {
+    for (size_t s = 0; s < plan.shards.size(); ++s) run_shard(s);
+  }
+  for (const auto& c : counters) {
+    stats.cuts_evaluated += c.cuts_evaluated;
+    stats.replacements += c.replacements;
+  }
+  return rebuild_from_plans(mig, oracle, plans);
+}
+
+}  // namespace
+
+mig::Mig rewrite_top_down(const mig::Mig& mig, ReplacementOracle& oracle,
+                          const RewriteParams& params, RewriteStats& stats) {
+  if (params.ffr_partition) {
+    return rewrite_top_down_ffr(mig, oracle, params, stats);
+  }
+
+  cuts::CutEnumerationParams cut_params;
+  cut_params.cut_size =
+      params.five_input_cuts ? std::max(params.cut_size, 5u) : params.cut_size;
+  cut_params.max_cuts = params.max_cuts;
+  const auto cut_sets = cuts::enumerate_cuts(mig, cut_params);
+  const auto fanout = mig.compute_fanout_counts();
+  const auto levels = mig.compute_levels();
+
+  // Phase 1: choose, per needed node, the best replacement cut.  The choice
+  // for a node never depends on other nodes' choices, only on which nodes
+  // the walk reaches.
+  std::vector<Plan> plans(mig.num_nodes());
+  PlanCounters counters;
+  std::vector<uint32_t> stack;
+  for (const mig::Signal o : mig.outputs()) stack.push_back(o.index());
+  while (!stack.empty()) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    if (plans[v].visited) continue;
+    plans[v].visited = true;
+    if (!mig.is_gate(v)) continue;
+
+    auto best =
+        choose_plan(mig, oracle, params, cut_sets[v], fanout, levels, v, counters);
+    if (best) {
+      plans[v] = std::move(*best);
+      ++counters.replacements;
+      for (const uint32_t l : plans[v].leaves) stack.push_back(l);
+    } else {
+      for (const mig::Signal s : mig.fanins(v)) stack.push_back(s.index());
+    }
+  }
+  stats.cuts_evaluated += counters.cuts_evaluated;
+  stats.replacements += counters.replacements;
+  return rebuild_from_plans(mig, oracle, plans);
 }
 
 }  // namespace mighty::opt

@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mighty::util {
+
+ThreadPool::ThreadPool(uint32_t parallelism) {
+  parallelism = std::min(parallelism, kMaxParallelism);
+  const uint32_t workers = parallelism > 1 ? parallelism - 1 : 0;
+  workers_.reserve(workers);
+  try {
+    for (uint32_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread creation can fail (std::system_error); shut down the workers
+    // already spawned before rethrowing, or unwinding would destroy
+    // joinable std::threads and terminate the process.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(const std::function<void(size_t)>& fn, size_t count) {
+  for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
+       i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      // Stop claiming further items; peers finish their current one and exit.
+      next_.store(count, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = job_fn_;
+      count = job_count_;
+    }
+    drain(*fn, count);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    active_workers_ = static_cast<uint32_t>(workers_.size());
+    error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  drain(fn, count);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return active_workers_ == 0; });
+  if (error_) {
+    auto error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace mighty::util

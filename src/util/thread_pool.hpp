@@ -1,0 +1,71 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// \brief A small work-sharing thread pool for shard-parallel passes.
+///
+/// The pool implements exactly one primitive, parallel_for: run fn(i) for
+/// every i in [0, count), distributing indices dynamically over the workers
+/// and the calling thread.  Dynamic distribution is safe for the sharded
+/// optimization passes because every task writes only to slots it owns —
+/// results are a pure function of the task index, never of the schedule —
+/// which is what makes `--threads N` bit-identical to `--threads 1`.
+///
+/// A pool of parallelism 1 has no worker threads at all; parallel_for then
+/// degenerates to an inline loop on the caller.
+
+namespace mighty::util {
+
+class ThreadPool {
+public:
+  /// Hard cap on pool width: the shard planners stop profiting far earlier,
+  /// and an absurd request must not try to spawn thousands of OS threads.
+  static constexpr uint32_t kMaxParallelism = 256;
+
+  /// `parallelism` counts the calling thread: a pool of parallelism N spawns
+  /// N-1 workers.  0 is treated as 1; values above kMaxParallelism clamp.
+  explicit ThreadPool(uint32_t parallelism);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism including the calling thread.
+  uint32_t parallelism() const { return static_cast<uint32_t>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, count); returns when all invocations have
+  /// finished.  The first exception thrown by any invocation is rethrown on
+  /// the caller after the remaining claimed items complete (unclaimed items
+  /// are abandoned).  Not reentrant: fn must not call parallel_for on the
+  /// same pool.
+  void parallel_for(size_t count, const std::function<void(size_t)>& fn);
+
+private:
+  void worker_loop();
+  /// Claims and runs items of the current job until none are left or an
+  /// error is recorded.  Called by workers and by the parallel_for caller.
+  void drain(const std::function<void(size_t)>& fn, size_t count);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t job_count_ = 0;
+  std::atomic<size_t> next_{0};
+  uint32_t active_workers_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace mighty::util

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the BENCH_*.json artifacts.
+
+Compares a fresh machine-readable bench result (table3_functional_hashing /
+table4_mapping with --json) against a checked-in baseline:
+
+  * quality metrics (size, depth, luts, lut_depth, ...) FAIL the gate when
+    they regress — any value strictly greater than the baseline's;
+  * wall time ("seconds" metrics) only WARNS, because CI machines are noisy;
+    the tolerance factor is configurable;
+  * a benchmark or variant present in the baseline but missing from the
+    result FAILS (silently dropping coverage must not pass);
+  * improvements are listed so the baseline can be refreshed deliberately.
+
+Usage:
+  tools/check_bench.py --baseline bench/baselines/table3_small.json \
+      BENCH_table3.json [--wall-tolerance 1.5]
+
+Exit status: 0 clean (warnings allowed), 1 on any regression or schema error.
+"""
+
+import argparse
+import json
+import sys
+
+WALL_METRICS = {"seconds"}
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"error: cannot read {path}: {error}")
+
+
+def index_benchmarks(doc, path):
+    if "benchmarks" not in doc:
+        sys.exit(f"error: {path} has no 'benchmarks' array")
+    return {bench["name"]: bench for bench in doc["benchmarks"]}
+
+
+def compare_metrics(context, baseline, current, tolerance, report):
+    """Compares one metric group; returns metric names regressed."""
+    for metric, base_value in baseline.items():
+        if metric not in current:
+            report["failures"].append(f"{context}: metric '{metric}' disappeared")
+            continue
+        value = current[metric]
+        if metric in WALL_METRICS:
+            if base_value > 0 and value > base_value * tolerance:
+                report["warnings"].append(
+                    f"{context}: {metric} {value:.2f}s vs baseline "
+                    f"{base_value:.2f}s (> x{tolerance:g}; wall time is warn-only)")
+        elif value > base_value:
+            report["failures"].append(
+                f"{context}: {metric} regressed {base_value:g} -> {value:g}")
+        elif value < base_value:
+            report["improvements"].append(
+                f"{context}: {metric} improved {base_value:g} -> {value:g}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("result", help="fresh BENCH_*.json to check")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON to compare against")
+    parser.add_argument("--wall-tolerance", type=float, default=1.5,
+                        help="warn when wall time exceeds baseline x this factor")
+    args = parser.parse_args()
+
+    baseline_doc = load(args.baseline)
+    result_doc = load(args.result)
+    if baseline_doc.get("bench") != result_doc.get("bench"):
+        sys.exit(f"error: bench mismatch: baseline is '{baseline_doc.get('bench')}', "
+                 f"result is '{result_doc.get('bench')}'")
+    if baseline_doc.get("mode") != result_doc.get("mode"):
+        sys.exit(f"error: mode mismatch: baseline is '{baseline_doc.get('mode')}', "
+                 f"result is '{result_doc.get('mode')}'")
+
+    baseline = index_benchmarks(baseline_doc, args.baseline)
+    result = index_benchmarks(result_doc, args.result)
+    report = {"failures": [], "warnings": [], "improvements": []}
+
+    for name, base_bench in baseline.items():
+        if name not in result:
+            report["failures"].append(f"benchmark '{name}' missing from result")
+            continue
+        bench = result[name]
+        compare_metrics(f"{name}/baseline", base_bench.get("baseline", {}),
+                        bench.get("baseline", {}), args.wall_tolerance, report)
+        for variant, base_metrics in base_bench.get("variants", {}).items():
+            current_metrics = bench.get("variants", {}).get(variant)
+            if current_metrics is None:
+                report["failures"].append(f"{name}: variant '{variant}' missing")
+                continue
+            compare_metrics(f"{name}/{variant}", base_metrics, current_metrics,
+                            args.wall_tolerance, report)
+    for name in result:
+        if name not in baseline:
+            report["warnings"].append(
+                f"benchmark '{name}' not in baseline (extend the baseline?)")
+
+    bench_name = result_doc.get("bench", "?")
+    for line in report["warnings"]:
+        print(f"WARN  [{bench_name}] {line}")
+    for line in report["improvements"]:
+        print(f"BETTER[{bench_name}] {line}")
+    for line in report["failures"]:
+        print(f"FAIL  [{bench_name}] {line}")
+
+    checked = sum(len(b.get("variants", {})) + 1 for b in baseline.values())
+    if report["failures"]:
+        print(f"{bench_name}: {len(report['failures'])} regression(s) across "
+              f"{checked} checked metric groups")
+        return 1
+    print(f"{bench_name}: no quality regressions across {checked} metric groups"
+          + (f"; {len(report['improvements'])} improvement(s) — consider "
+             f"refreshing the baseline" if report["improvements"] else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
