@@ -79,6 +79,11 @@ void Shell::command(const std::string& line) {
         "  flow <script>         run a flow script, e.g.  TF;(BFD;size)*;map\n"
         "                        (x*3 repeats, x* iterates to convergence,\n"
         "                        parallel:4 runs later passes on 4 threads)\n"
+        "  batch <dir|gen> <script>\n"
+        "                        run a flow script over a whole corpus (every\n"
+        "                        .blif in <dir>, or the built-in generator\n"
+        "                        corpus) with the oracle shared corpus-wide;\n"
+        "                        networks run concurrently at `threads` > 1\n"
         "  threads [n]           set/show session parallelism (deterministic)\n"
         "  map [k]               k-LUT mapping (default 6)\n"
         "  cec                   SAT equivalence vs. the originally loaded network\n"
@@ -126,6 +131,30 @@ void Shell::command(const std::string& line) {
     }
     printf("session parallelism: %u thread%s (results are identical at any "
            "count)\n", session.threads(), session.threads() == 1 ? "" : "s");
+    return;
+  }
+  if (cmd == "batch") {
+    // Corpus-level execution needs no `current` network: it brings its own.
+    std::string source, script;
+    is >> source;
+    std::getline(is, script);
+    if (source.empty() || script.find_first_not_of(" \t") == std::string::npos) {
+      printf("usage: batch <dir|gen> <script>\n");
+      return;
+    }
+    try {
+      const auto corpus = source == "gen" ? flow::Corpus::generated_arithmetic()
+                                          : flow::Corpus::from_directory(source);
+      if (corpus.empty()) {
+        printf("corpus '%s' contains no networks\n", source.c_str());
+        return;
+      }
+      flow::BatchReport report;
+      flow::BatchRunner(session).run(corpus, flow::Pipeline::parse(script), &report);
+      fputs(report.summary().c_str(), stdout);
+    } catch (const std::exception& e) {
+      printf("error: %s\n", e.what());
+    }
     return;
   }
   if (cmd == "read_blif") {
@@ -228,14 +257,20 @@ int main() {
       fflush(stdout);
     }
     if (!std::getline(std::cin, line)) break;
-    // Commands may be ;-chained; a `flow` command swallows the rest of the
-    // line, since its script uses ';' as the pass separator itself.
+    // Commands may be ;-chained; `flow` and `batch` commands swallow the
+    // rest of the line, since their scripts use ';' as the pass separator.
     size_t start = 0;
     while (start <= line.size()) {
       const size_t word = line.find_first_not_of(" \t", start);
-      if (word != std::string::npos && line.compare(word, 4, "flow") == 0 &&
-          (word + 4 == line.size() || line[word + 4] == ' ' ||
-           line[word + 4] == '\t')) {
+      bool swallows_line = false;
+      for (const std::string head : {"flow", "batch"}) {
+        if (word != std::string::npos && line.compare(word, head.size(), head) == 0 &&
+            (word + head.size() == line.size() || line[word + head.size()] == ' ' ||
+             line[word + head.size()] == '\t')) {
+          swallows_line = true;
+        }
+      }
+      if (swallows_line) {
         shell.command(line.substr(word));
         break;
       }

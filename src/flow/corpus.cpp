@@ -1,0 +1,71 @@
+#include "flow/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "gen/arith.hpp"
+#include "io/io.hpp"
+#include "mig/algebra/algebra.hpp"
+
+namespace mighty::flow {
+
+Corpus& Corpus::add(std::string name, mig::Mig mig) {
+  if (!names_.insert(name).second) {
+    throw std::invalid_argument("duplicate corpus entry name: " + name);
+  }
+  entries_.push_back(CorpusEntry{std::move(name), std::move(mig)});
+  return *this;
+}
+
+size_t Corpus::find(const std::string& name) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return i;
+  }
+  return entries_.size();
+}
+
+Corpus Corpus::from_directory(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    throw std::runtime_error("corpus directory does not exist: " + directory);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".blif") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end(), [](const fs::path& a, const fs::path& b) {
+    return a.filename().string() < b.filename().string();
+  });
+  Corpus corpus;
+  for (const auto& path : files) {
+    corpus.add(path.stem().string(), io::read_blif_file(path.string()));
+  }
+  return corpus;
+}
+
+Corpus Corpus::generated_arithmetic() {
+  // Small enough that a whole-corpus flow stays test-sized, large enough
+  // that every network has nontrivial cut structure to hash.  Names sort
+  // in this order, so directory-loaded exports keep the same sequence.
+  //
+  // Each network is depth-optimized, mirroring the paper's "heavily
+  // optimized" starting points (bench::prepare_suite does the same): the raw
+  // generator structures are so regular that most cuts collapse to <= 4
+  // support, and the 5-input oracle — the thing corpus-wide sharing
+  // amortizes — would sit idle.
+  Corpus corpus;
+  corpus.add("adder16", algebra::depth_optimize(gen::make_adder_n(16)));
+  corpus.add("divider8", algebra::depth_optimize(gen::make_divisor_n(8)));
+  corpus.add("log2_4", algebra::depth_optimize(gen::make_log2_n(4)));
+  corpus.add("max16", algebra::depth_optimize(gen::make_max_n(16)));
+  corpus.add("multiplier8", algebra::depth_optimize(gen::make_multiplier_n(8)));
+  corpus.add("sine8", algebra::depth_optimize(gen::make_sine_n(8)));
+  corpus.add("sqrt8", algebra::depth_optimize(gen::make_sqrt_n(8)));
+  return corpus;
+}
+
+}  // namespace mighty::flow

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+/// \file corpus.hpp
+/// \brief An ordered set of named networks — the unit a batch run executes
+/// over.
+///
+/// The paper's functional-hashing gains come from reusing exact NPN
+/// replacements across many cut instances; a Corpus extends that reuse past a
+/// single network: `flow::BatchRunner` runs one Pipeline over every entry
+/// with the session's replacement oracle (and its 5-input synthesis cache)
+/// shared corpus-wide, so one benchmark's synthesis work warms the next.
+///
+/// Entries keep their insertion order (from_directory sorts filenames first),
+/// so corpus iteration — and therefore every report — is deterministic.
+
+namespace mighty::flow {
+
+struct CorpusEntry {
+  std::string name;
+  mig::Mig mig;
+};
+
+class Corpus {
+public:
+  Corpus() = default;
+
+  /// Appends a named network.  Names must be unique within the corpus
+  /// (reports and result lookup are by name); throws std::invalid_argument
+  /// on a duplicate.
+  Corpus& add(std::string name, mig::Mig mig);
+
+  /// Loads every `*.blif` file of `directory` (non-recursive), sorted by
+  /// filename so the corpus order is independent of directory enumeration;
+  /// the entry name is the filename without extension.  Throws
+  /// std::runtime_error when the directory does not exist or a file fails to
+  /// parse (the reader's message names the file and line).
+  static Corpus from_directory(const std::string& directory);
+
+  /// The built-in generator corpus: the seven `src/gen` arithmetic networks
+  /// at reduced widths (adder/divider/log2/max/multiplier/sine/sqrt).  This
+  /// is exactly the set `tools/make_corpus.cmake` exports to `data/corpus/`
+  /// as BLIF, so directory-loaded and generated corpora are interchangeable
+  /// in tests and benches (up to the BLIF round-trip's restructuring).
+  static Corpus generated_arithmetic();
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const CorpusEntry& operator[](size_t i) const { return entries_[i]; }
+
+  /// Index of the entry called `name`, or size() when absent.
+  size_t find(const std::string& name) const;
+
+  std::vector<CorpusEntry>::const_iterator begin() const { return entries_.begin(); }
+  std::vector<CorpusEntry>::const_iterator end() const { return entries_.end(); }
+
+private:
+  std::vector<CorpusEntry> entries_;
+  /// Mirror of the entry names, so add() stays O(1) on corpora of thousands
+  /// of files (find() stays linear: it returns an index and is rare).
+  std::unordered_set<std::string> names_;
+};
+
+}  // namespace mighty::flow

@@ -13,6 +13,11 @@
 /// parallelism 1 — the drivers then take their inline path, which executes
 /// the very same sharded algorithms, keeping `threads=N` bit-identical to
 /// `threads=1` (see shard.hpp for why the decomposition is deterministic).
+///
+/// The same pool carries both levels of a batch run (see batch.hpp): the
+/// BatchRunner's (network, pass) tasks go through its task queue, and each
+/// pass's FFR shards fan out over it via parallel_for underneath — one set
+/// of workers, two granularities.
 
 namespace mighty::flow {
 

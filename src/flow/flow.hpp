@@ -13,9 +13,18 @@
 ///   auto optimized = pipeline.run(mig, session, &report);
 ///   fputs(report.summary().c_str(), stdout);
 ///
-/// See session.hpp (shared state), pass.hpp (the pass vocabulary) and
-/// pipeline.hpp (composition, combinators and the script grammar).
+/// Whole corpus at once, oracle shared across every network:
+///
+///   auto corpus = flow::Corpus::from_directory("data/corpus");
+///   flow::BatchReport batch;
+///   auto optimized = flow::BatchRunner(session).run(corpus, pipeline, &batch);
+///
+/// See session.hpp (shared state), pass.hpp (the pass vocabulary),
+/// pipeline.hpp (composition, combinators and the script grammar), and
+/// corpus.hpp / batch.hpp (corpus-level batch execution).
 
+#include "flow/batch.hpp"     // IWYU pragma: export
+#include "flow/corpus.hpp"    // IWYU pragma: export
 #include "flow/pass.hpp"      // IWYU pragma: export
 #include "flow/pipeline.hpp"  // IWYU pragma: export
 #include "flow/session.hpp"   // IWYU pragma: export

@@ -151,6 +151,12 @@ private:
       }
       return result.lut_map(params), result;
     }
+    // A trailing '5' selects the variant's 5-input-cut extension ("TF5");
+    // it is part of the word, not a repeat count (those need '*').
+    if (pos_ < script_.size() && script_[pos_] == '5') {
+      text += '5';
+      ++pos_;
+    }
     try {
       result.rewrite(text);
     } catch (const std::invalid_argument&) {

@@ -47,6 +47,15 @@ struct PassStats {
   double seconds = 0.0;
 };
 
+/// numerator/denominator as a fraction, 1.0 when there was no activity —
+/// the single definition behind every oracle rate (FlowReport and
+/// BatchReport must never disagree on the convention, the CI "_rate" gate
+/// compares them across runs).
+inline double oracle_rate(uint64_t numerator, uint64_t denominator) {
+  return denominator == 0 ? 1.0
+                          : static_cast<double>(numerator) / denominator;
+}
+
 /// Aggregated outcome of a Pipeline::run: the per-pass trajectory plus
 /// whole-flow totals and a snapshot of the shared oracle's cache behavior
 /// over this run.
@@ -71,8 +80,18 @@ struct FlowReport {
   uint64_t replacements() const;
   /// Fraction of oracle queries answered with a replacement; 1.0 if none.
   double oracle_hit_rate() const;
+  /// Fraction of 5-input cache lookups served without touching the SAT
+  /// solver; 1.0 when the flow never looked at a 5-input cut.  The number
+  /// corpus-wide oracle sharing improves (see batch.hpp).
+  double cache5_reuse_rate() const;
   /// Last mapping result in the trajectory, if any pass mapped.
   const PassStats* last_mapping() const;
+
+  /// Recomputes the oracle_* totals as sums of the per-pass deltas (which
+  /// also accounts for private per-pass oracles).  Idempotent: totals are
+  /// reset before summing.  Pipeline::run and the batch runner both finalize
+  /// reports through this.
+  void accumulate_oracle_totals();
 
   /// Human-readable per-pass table plus the totals line.
   std::string summary() const;
@@ -90,6 +109,18 @@ public:
   /// primitive pass executed (composite passes append several).
   virtual mig::Mig run(const mig::Mig& mig, Session& session,
                        FlowReport& report) const = 0;
+
+  /// True when executing this pass may query the session's oracle (and so
+  /// its NPN database).  The batch runner materializes both upfront exactly
+  /// when some pass needs them — lazy Session init is single-threaded.
+  /// Composite passes answer for their bodies.
+  virtual bool uses_oracle() const { return false; }
+
+  /// True when the pass reconfigures the session's execution engine rather
+  /// than transforming the network (the "parallel:n" directive).  Such
+  /// passes are rejected inside batch runs, where tearing down the executor
+  /// mid-flight would destroy the pool the batch is running on.
+  virtual bool mutates_session() const { return false; }
 
   virtual std::unique_ptr<Pass> clone() const = 0;
 };

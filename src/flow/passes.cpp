@@ -15,16 +15,6 @@ double seconds_since(const std::chrono::steady_clock::time_point& start) {
       .count();
 }
 
-struct OracleCounters {
-  uint64_t queries = 0, answered = 0, cache5_hits = 0, synthesized = 0,
-           failures = 0;
-
-  static OracleCounters of(const opt::ReplacementOracle& oracle) {
-    return {oracle.queries(), oracle.answered(), oracle.cache5_hits(),
-            oracle.synthesized_count(), oracle.synthesis_failures()};
-  }
-};
-
 /// Functional hashing through the session's shared oracle.
 class RewritePass final : public Pass {
 public:
@@ -53,14 +43,12 @@ public:
     opt::ReplacementOracle& oracle =
         private_oracle ? *private_oracle : session.oracle();
 
-    const auto before = OracleCounters::of(oracle);
     opt::RewriteStats stats;
     // The session's worker pool is injected at run time, so one Pipeline can
     // serve sessions of any parallelism (results are identical either way).
     opt::RewriteParams params = params_;
     params.pool = session.worker_pool();
     auto result = opt::functional_hashing(mig, oracle, params, &stats);
-    const auto after = OracleCounters::of(oracle);
 
     PassStats entry;
     entry.name = name_;
@@ -70,15 +58,19 @@ public:
     entry.depth_after = stats.depth_after;
     entry.cuts_evaluated = stats.cuts_evaluated;
     entry.replacements = stats.replacements;
-    entry.oracle_queries = after.queries - before.queries;
-    entry.oracle_answered = after.answered - before.answered;
-    entry.oracle_cache5_hits = after.cache5_hits - before.cache5_hits;
-    entry.oracle_synthesized = after.synthesized - before.synthesized;
-    entry.oracle_failures = after.failures - before.failures;
+    // Per-call tally, not lifetime-counter deltas: exact attribution even
+    // while other networks of a batch hammer the same shared oracle.
+    entry.oracle_queries = stats.oracle_queries;
+    entry.oracle_answered = stats.oracle_answered;
+    entry.oracle_cache5_hits = stats.oracle_cache5_hits;
+    entry.oracle_synthesized = stats.oracle_synthesized;
+    entry.oracle_failures = stats.oracle_failures;
     entry.seconds = stats.seconds;
     report.passes.push_back(std::move(entry));
     return result;
   }
+
+  bool uses_oracle() const override { return true; }
 
   std::unique_ptr<Pass> clone() const override {
     return std::make_unique<RewritePass>(params_, name_);
@@ -197,6 +189,8 @@ public:
     return mig;
   }
 
+  bool mutates_session() const override { return true; }
+
   std::unique_ptr<Pass> clone() const override {
     return std::make_unique<ParallelPass>(threads_);
   }
@@ -211,8 +205,17 @@ std::unique_ptr<Pass> make_rewrite_pass(const std::string& variant) {
   std::string canonical = variant;
   std::transform(canonical.begin(), canonical.end(), canonical.begin(),
                  [](unsigned char c) { return std::toupper(c); });
-  return std::make_unique<RewritePass>(opt::variant_params(canonical),
-                                       std::move(canonical));
+  // A trailing '5' selects the 5-input-cut extension of the variant ("TF5"),
+  // served by the session's shared synthesis cache — the flavor whose work
+  // batch runs amortize corpus-wide.
+  opt::RewriteParams params;
+  if (canonical.size() > 1 && canonical.back() == '5') {
+    params = opt::variant_params(canonical.substr(0, canonical.size() - 1));
+    params.five_input_cuts = true;
+  } else {
+    params = opt::variant_params(canonical);
+  }
+  return std::make_unique<RewritePass>(params, std::move(canonical));
 }
 
 std::unique_ptr<Pass> make_rewrite_pass(const opt::RewriteParams& params,

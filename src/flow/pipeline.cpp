@@ -15,6 +15,9 @@ class GroupPass : public Pass {
 public:
   explicit GroupPass(Pipeline body) : body_(std::move(body)) {}
 
+  bool uses_oracle() const override { return body_.uses_oracle(); }
+  bool mutates_session() const override { return body_.mutates_session(); }
+
 protected:
   /// Body in script form, parenthesized whenever it is not a single plain
   /// word — nested combinators ("BF*2" inside a repeat) must group, or the
@@ -199,15 +202,7 @@ mig::Mig Pipeline::run(const mig::Mig& mig, Session& session,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   out.size_after = current.count_live_gates();
   out.depth_after = current.depth();
-  // Totals are sums of the per-pass deltas (recorded by the rewrite passes
-  // themselves), which also accounts for private per-pass oracles.
-  for (const auto& pass : out.passes) {
-    out.oracle_queries += pass.oracle_queries;
-    out.oracle_answered += pass.oracle_answered;
-    out.oracle_cache5_hits += pass.oracle_cache5_hits;
-    out.oracle_synthesized += pass.oracle_synthesized;
-    out.oracle_failures += pass.oracle_failures;
-  }
+  out.accumulate_oracle_totals();
   return current;
 }
 
@@ -218,6 +213,20 @@ mig::Mig Pipeline::run_into(const mig::Mig& mig, Session& session,
     current = pass->run(current, session, report);
   }
   return current;
+}
+
+bool Pipeline::uses_oracle() const {
+  for (const auto& pass : passes_) {
+    if (pass->uses_oracle()) return true;
+  }
+  return false;
+}
+
+bool Pipeline::mutates_session() const {
+  for (const auto& pass : passes_) {
+    if (pass->mutates_session()) return true;
+  }
+  return false;
 }
 
 std::string Pipeline::to_string() const {
@@ -243,10 +252,24 @@ uint64_t FlowReport::replacements() const {
   return total;
 }
 
+void FlowReport::accumulate_oracle_totals() {
+  oracle_queries = oracle_answered = oracle_cache5_hits = 0;
+  oracle_synthesized = oracle_failures = 0;
+  for (const auto& pass : passes) {
+    oracle_queries += pass.oracle_queries;
+    oracle_answered += pass.oracle_answered;
+    oracle_cache5_hits += pass.oracle_cache5_hits;
+    oracle_synthesized += pass.oracle_synthesized;
+    oracle_failures += pass.oracle_failures;
+  }
+}
+
 double FlowReport::oracle_hit_rate() const {
-  return oracle_queries == 0
-             ? 1.0
-             : static_cast<double>(oracle_answered) / oracle_queries;
+  return oracle_rate(oracle_answered, oracle_queries);
+}
+
+double FlowReport::cache5_reuse_rate() const {
+  return oracle_rate(oracle_cache5_hits, oracle_cache5_hits + oracle_synthesized);
 }
 
 const PassStats* FlowReport::last_mapping() const {

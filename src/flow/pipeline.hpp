@@ -35,6 +35,7 @@
 ///                    | '*']                 -- to convergence, default cap
 ///   atom     := '(' sequence ')' | word
 ///   word     := T|TD|TF|TFD|B|BD|BF|BFD     -- functional-hashing variants
+///             | variant '5'                 -- 5-input-cut extension (TF5, ...)
 ///             | size | depth                -- algebraic optimization
 ///             | map[k]                      -- k-LUT mapping, default k=6
 ///             | parallel:n                  -- run later passes on n threads
@@ -115,6 +116,11 @@ public:
   size_t num_passes() const { return passes_.size(); }
   bool empty() const { return passes_.empty(); }
   const Pass& pass(size_t i) const { return *passes_[i]; }
+
+  /// True when any pass (at any nesting depth) may query the session oracle.
+  bool uses_oracle() const;
+  /// True when any pass (at any nesting depth) reconfigures the session.
+  bool mutates_session() const;
 
   /// Script form; re-parses to an equivalent pipeline.
   std::string to_string() const;

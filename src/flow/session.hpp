@@ -17,7 +17,13 @@
 /// the NPN-4 database was re-loaded (or worse, re-synthesized) and each
 /// functional-hashing pass built a private ReplacementOracle, throwing away
 /// the 5-input synthesis cache between passes.  A Session owns both once, so
-/// iterated and interleaved pipelines amortize them across every pass.
+/// iterated and interleaved pipelines amortize them across every pass — and,
+/// through flow::BatchRunner, across every network of a corpus: the oracle
+/// is concurrency-safe, so many networks in flight share one warm cache.
+///
+/// Lazy initialization (database(), oracle(), executor()) is single-threaded
+/// by design; materialize before handing the session to concurrent tasks
+/// (BatchRunner does this itself).
 
 namespace mighty::flow {
 

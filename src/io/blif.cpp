@@ -91,31 +91,54 @@ mig::Mig read_blif(std::istream& is) {
     std::vector<std::string> inputs;
     std::string output;
     std::vector<std::string> rows;
+    size_t line = 0;  ///< physical line of the .names directive (for errors)
   };
   std::vector<std::string> input_names;
   std::vector<std::string> output_names;
+  size_t outputs_line = 0;
   std::vector<Table> tables;
 
-  // Tokenize with continuation-line support.
+  auto error_at = [](size_t line, const std::string& what) {
+    return std::runtime_error("BLIF line " + std::to_string(line) + ": " + what);
+  };
+
+  // Tokenize into logical lines: strip '\r' (CRLF exports), cut '#' comments,
+  // and join backslash continuations (tolerating whitespace after the
+  // backslash, which common exporters emit).  Each logical line remembers the
+  // physical line it started on, so parse errors point into the file.
+  struct LogicalLine {
+    std::string text;
+    size_t line;
+  };
   std::string line, pending;
-  std::vector<std::string> logical_lines;
+  size_t line_number = 0, pending_line = 0;
+  std::vector<LogicalLine> logical_lines;
   while (std::getline(is, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (const auto hash = line.find('#'); hash != std::string::npos) {
       line.resize(hash);
     }
-    if (!line.empty() && line.back() == '\\') {
-      line.pop_back();
-      pending += line;
+    if (pending.empty()) pending_line = line_number;
+    const auto last = line.find_last_not_of(" \t");
+    if (last != std::string::npos && line[last] == '\\') {
+      pending += line.substr(0, last);
+      pending += ' ';  // the continuation joins tokens, it must not fuse them
       continue;
     }
     pending += line;
-    if (!pending.empty()) logical_lines.push_back(pending);
+    if (pending.find_first_not_of(" \t") != std::string::npos) {
+      logical_lines.push_back({std::move(pending), pending_line});
+    }
     pending.clear();
+  }
+  if (!pending.empty()) {
+    throw error_at(pending_line, "backslash continuation at end of file");
   }
 
   Table* current = nullptr;
-  for (const auto& l : logical_lines) {
-    std::istringstream ls(l);
+  for (const auto& logical : logical_lines) {
+    std::istringstream ls(logical.text);
     std::string head;
     if (!(ls >> head)) continue;
     if (head == ".model" || head == ".end") {
@@ -131,15 +154,17 @@ mig::Mig read_blif(std::istream& is) {
     if (head == ".outputs") {
       std::string name;
       while (ls >> name) output_names.push_back(name);
+      outputs_line = logical.line;
       current = nullptr;
       continue;
     }
     if (head == ".names") {
       Table t;
+      t.line = logical.line;
       std::string name;
       std::vector<std::string> names;
       while (ls >> name) names.push_back(name);
-      if (names.empty()) throw std::runtime_error("BLIF .names without signals");
+      if (names.empty()) throw error_at(logical.line, ".names without signals");
       t.output = names.back();
       names.pop_back();
       t.inputs = std::move(names);
@@ -148,12 +173,16 @@ mig::Mig read_blif(std::istream& is) {
       continue;
     }
     if (head[0] == '.') {
-      throw std::runtime_error("unsupported BLIF construct: " + head);
+      throw error_at(logical.line, "unsupported BLIF construct: " + head);
     }
-    if (current == nullptr) throw std::runtime_error("BLIF cover row outside .names");
+    if (current == nullptr) {
+      throw error_at(logical.line, "cover row outside .names");
+    }
+    // Keep every token: extra columns must surface as a parse error below,
+    // not be silently dropped.
     std::string rest;
     std::string row = head;
-    if (ls >> rest) row += " " + rest;
+    while (ls >> rest) row += " " + rest;
     current->rows.push_back(row);
   }
 
@@ -165,20 +194,21 @@ mig::Mig read_blif(std::istream& is) {
   for (const auto& t : tables) by_output[t.output] = &t;
 
   // Resolve signals recursively (BLIF does not promise topological order).
-  std::vector<std::string> visiting;
-  std::function<mig::Signal(const std::string&)> resolve =
-      [&](const std::string& name) -> mig::Signal {
+  // `referenced_at` is the line mentioning the name, so "signal without
+  // driver" points at the use, not somewhere downstream.
+  std::function<mig::Signal(const std::string&, size_t)> resolve =
+      [&](const std::string& name, size_t referenced_at) -> mig::Signal {
     if (const auto it = signals.find(name); it != signals.end()) return it->second;
     const auto t_it = by_output.find(name);
     if (t_it == by_output.end()) {
-      throw std::runtime_error("BLIF signal without driver: " + name);
+      throw error_at(referenced_at, "signal without driver: " + name);
     }
     const Table& t = *t_it->second;
     if (t.inputs.size() > 4) {
-      throw std::runtime_error("BLIF table with more than 4 inputs: " + name);
+      throw error_at(t.line, "table with more than 4 inputs: " + name);
     }
     std::vector<mig::Signal> leaves;
-    for (const auto& in : t.inputs) leaves.push_back(resolve(in));
+    for (const auto& in : t.inputs) leaves.push_back(resolve(in, t.line));
 
     // Build the truth table from the cover.
     const auto k = static_cast<uint32_t>(t.inputs.size());
@@ -186,12 +216,21 @@ mig::Mig read_blif(std::istream& is) {
     bool output_one = true;
     for (const auto& row : t.rows) {
       std::istringstream rs(row);
-      std::string pattern, value;
+      std::string pattern, value, extra;
       if (k == 0) {
-        value = row;
+        rs >> value;
         pattern.clear();
       } else if (!(rs >> pattern >> value)) {
-        throw std::runtime_error("malformed BLIF cover row: " + row);
+        throw error_at(t.line, "malformed cover row in table '" + name +
+                                   "': " + row);
+      }
+      if (rs >> extra) {
+        throw error_at(t.line, "trailing tokens in cover row of table '" + name +
+                                   "': " + row);
+      }
+      if (pattern.size() != k) {
+        throw error_at(t.line, "cover row width mismatch in table '" + name +
+                                   "': " + row);
       }
       output_one = value == "1";
       // Expand don't-cares.
@@ -223,14 +262,22 @@ mig::Mig read_blif(std::istream& is) {
     return s;
   };
 
-  for (const auto& name : output_names) m.create_po(resolve(name));
+  for (const auto& name : output_names) {
+    m.create_po(resolve(name, outputs_line));
+  }
   return m;
 }
 
 mig::Mig read_blif_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open " + path);
-  return read_blif(is);
+  try {
+    return read_blif(is);
+  } catch (const std::runtime_error& e) {
+    // Parse errors carry the line; corpus loads read many files, so name
+    // the file too.
+    throw std::runtime_error(path + ": " + e.what());
+  }
 }
 
 }  // namespace mighty::io

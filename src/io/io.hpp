@@ -22,9 +22,12 @@ void write_blif(std::ostream& os, const mig::Mig& mig,
 void write_blif_file(const std::string& path, const mig::Mig& mig,
                      const std::string& model_name = "mig");
 
-/// Parses a combinational BLIF model.  Throws std::runtime_error on
-/// unsupported constructs (latches, multiple models, tables over 4 inputs).
+/// Parses a combinational BLIF model.  Accepts CRLF line endings and
+/// backslash line-continuations (as exported by common tools).  Throws
+/// std::runtime_error on unsupported constructs (latches, tables over 4
+/// inputs) and malformed input; messages carry the offending line number.
 mig::Mig read_blif(std::istream& is);
+/// Like read_blif; error messages are prefixed with `path`.
 mig::Mig read_blif_file(const std::string& path);
 
 void write_verilog(std::ostream& os, const mig::Mig& mig,

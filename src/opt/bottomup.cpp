@@ -119,7 +119,7 @@ RegionOutcome process_region(const mig::Mig& mig, ReplacementOracle& oracle,
       const auto leaves = cut.leaf_vector();
       ++outcome.counters.cuts_evaluated;
       const auto f = mig::simulate_cut(mig, v, leaves);
-      const auto info = oracle.query(f);
+      const auto info = oracle.query(f, params.tally);
       if (!info) continue;
 
       // Iterate (capped) combinations of leaf candidates in mixed radix.
@@ -152,7 +152,7 @@ RegionOutcome process_region(const mig::Mig& mig, ReplacementOracle& oracle,
           continue;
         }
         Candidate c;
-        c.sig = oracle.instantiate(f, outcome.net, leaf_signals);
+        c.sig = oracle.instantiate(f, outcome.net, leaf_signals, params.tally);
         c.size = size;
         c.depth = depth;
         insert_candidate(list, c, params.max_candidates);
@@ -301,7 +301,7 @@ mig::Mig rewrite_bottom_up(const mig::Mig& mig, ReplacementOracle& oracle,
       const auto leaves = cut.leaf_vector();
       ++stats.cuts_evaluated;
       const auto f = mig::simulate_cut(mig, v, leaves);
-      const auto info = oracle.query(f);
+      const auto info = oracle.query(f, params.tally);
       if (!info) continue;
 
       // Iterate (capped) combinations of leaf candidates in mixed radix.
@@ -334,7 +334,7 @@ mig::Mig rewrite_bottom_up(const mig::Mig& mig, ReplacementOracle& oracle,
           continue;
         }
         Candidate c;
-        c.sig = oracle.instantiate(f, result, leaf_signals);
+        c.sig = oracle.instantiate(f, result, leaf_signals, params.tally);
         c.size = size;
         c.depth = depth;
         insert_candidate(list, c, params.max_candidates);

@@ -7,11 +7,23 @@
 
 namespace mighty::opt {
 
+namespace {
+
+/// Bumps a lifetime counter and its optional per-scope mirror.
+void bump(std::atomic<uint64_t>& global, OracleTally* tally,
+          std::atomic<uint64_t> OracleTally::* member) {
+  global.fetch_add(1, std::memory_order_relaxed);
+  if (tally != nullptr) (tally->*member).fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 ReplacementOracle::ReplacementOracle(const exact::Database& db,
                                      const OracleParams& params)
     : db_(db), params_(params) {}
 
-const exact::MigChain* ReplacementOracle::five_input_chain(const tt::TruthTable& f5) {
+const exact::MigChain* ReplacementOracle::five_input_chain(const tt::TruthTable& f5,
+                                                           OracleTally* tally) {
   const uint64_t key = f5.bits();
   CacheStripe& stripe = cache5_[(key * 0x9e3779b97f4a7c15ull) >> 60 & (kCacheStripes - 1)];
   // Synthesis runs under the stripe lock: concurrent queries for the same
@@ -21,26 +33,27 @@ const exact::MigChain* ReplacementOracle::five_input_chain(const tt::TruthTable&
   std::lock_guard<std::mutex> lock(stripe.mutex);
   const auto it = stripe.map.find(key);
   if (it != stripe.map.end()) {
-    cache5_hits_.fetch_add(1, std::memory_order_relaxed);
+    bump(cache5_hits_, tally, &OracleTally::cache5_hits);
     return it->second ? &*it->second : nullptr;
   }
   exact::SynthesisOptions options;
   options.max_gates = params_.max_gates;
   options.conflict_limit = params_.synthesis_conflict_limit;
   const auto result = exact::synthesize_minimum_mig(f5, options);
-  synthesized_.fetch_add(1, std::memory_order_relaxed);
+  bump(synthesized_, tally, &OracleTally::synthesized);
   if (result.status == exact::SynthesisStatus::success) {
     auto [pos, inserted] = stripe.map.emplace(key, result.chain);
     (void)inserted;
     return &*pos->second;
   }
-  failures_.fetch_add(1, std::memory_order_relaxed);
+  bump(failures_, tally, &OracleTally::failures);
   stripe.map.emplace(key, std::nullopt);
   return nullptr;
 }
 
-std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthTable& f) {
-  queries_.fetch_add(1, std::memory_order_relaxed);
+std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthTable& f,
+                                                                OracleTally* tally) {
+  bump(queries_, tally, &OracleTally::queries);
   Info info;
   info.input_depths.assign(f.num_vars(), -1);
 
@@ -59,23 +72,24 @@ std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthT
         info.input_depths[old_vars[g_var]] = depths[i];
       }
     }
-    answered_.fetch_add(1, std::memory_order_relaxed);
+    bump(answered_, tally, &OracleTally::answered);
     return info;
   }
 
   if (!params_.enable_five_input || f.num_vars() > 5) return std::nullopt;
-  const auto* chain = five_input_chain(f.extend(5));
+  const auto* chain = five_input_chain(f.extend(5), tally);
   if (chain == nullptr) return std::nullopt;
   info.size = chain->size();
   info.depth = chain->depth();
   const auto depths = chain_input_depths(*chain);
   for (uint32_t v = 0; v < f.num_vars(); ++v) info.input_depths[v] = depths[v];
-  answered_.fetch_add(1, std::memory_order_relaxed);
+  bump(answered_, tally, &OracleTally::answered);
   return info;
 }
 
 mig::Signal ReplacementOracle::instantiate(const tt::TruthTable& f, mig::Mig& mig,
-                                           const std::vector<mig::Signal>& leaves) {
+                                           const std::vector<mig::Signal>& leaves,
+                                           OracleTally* tally) {
   if (f.support_size() <= 4) {
     std::vector<uint32_t> old_vars;
     const auto g = f.shrink_to_support(old_vars).extend(4);
@@ -85,7 +99,7 @@ mig::Signal ReplacementOracle::instantiate(const tt::TruthTable& f, mig::Mig& mi
     }
     return db_.instantiate(g, mig, mapped);
   }
-  const auto* chain = five_input_chain(f.extend(5));
+  const auto* chain = five_input_chain(f.extend(5), tally);
   if (chain == nullptr) {
     throw std::logic_error("instantiate called without a successful query");
   }

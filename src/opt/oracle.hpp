@@ -36,6 +36,20 @@
 
 namespace mighty::opt {
 
+/// Caller-owned oracle accounting: the same counters the oracle keeps for its
+/// lifetime, recorded additionally into this tally by every query/instantiate
+/// that is handed one.  A pass (or one network of a batch run) owns a tally
+/// for exact attribution — global before/after snapshots would interleave
+/// arbitrarily once several networks mutate the shared counters concurrently.
+/// Atomic because a single pass already fans out over FFR shards.
+struct OracleTally {
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> cache5_hits{0};
+  std::atomic<uint64_t> synthesized{0};
+  std::atomic<uint64_t> failures{0};
+};
+
 struct OracleParams {
   /// Allow on-demand 5-input synthesis (otherwise only the 4-input database).
   bool enable_five_input = false;
@@ -59,14 +73,16 @@ public:
 
   /// Returns the replacement structure for a cut function over at most five
   /// variables (in cut-leaf order), or std::nullopt if no structure is known
-  /// within the budgets.  Thread-safe.
-  std::optional<Info> query(const tt::TruthTable& f);
+  /// within the budgets.  Thread-safe.  When `tally` is given, the call's
+  /// counter increments are mirrored into it.
+  std::optional<Info> query(const tt::TruthTable& f, OracleTally* tally = nullptr);
 
   /// Builds the replacement in `mig`; `leaves[v]` drives variable v of f.
   /// Must only be called after a successful query for the same function.
   /// Thread-safe as long as no other thread touches the same `mig`.
   mig::Signal instantiate(const tt::TruthTable& f, mig::Mig& mig,
-                          const std::vector<mig::Signal>& leaves);
+                          const std::vector<mig::Signal>& leaves,
+                          OracleTally* tally = nullptr);
 
   /// Number of on-demand syntheses performed / failed (for reporting).
   uint64_t synthesized_count() const {
@@ -103,7 +119,8 @@ private:
   /// Chains are created once and never erased, and unordered_map never moves
   /// its elements, so the returned pointer stays valid after the stripe lock
   /// is released.
-  const exact::MigChain* five_input_chain(const tt::TruthTable& f5);
+  const exact::MigChain* five_input_chain(const tt::TruthTable& f5,
+                                          OracleTally* tally);
 
   const exact::Database& db_;
   OracleParams params_;

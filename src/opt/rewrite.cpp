@@ -16,15 +16,36 @@ mig::Mig functional_hashing(const mig::Mig& mig, ReplacementOracle& oracle,
   local.depth_before = mig.depth();
   const auto start = std::chrono::steady_clock::now();
 
+  // Attribute oracle activity to exactly this call: the drivers record every
+  // query into a local tally instead of the caller reading lifetime counters
+  // (which interleave arbitrarily when concurrent passes share the oracle).
+  OracleTally tally;
+  RewriteParams driver_params = params;
+  driver_params.tally = &tally;
+
   mig::Mig result = params.direction == Direction::top_down
-                        ? rewrite_top_down(mig, oracle, params, local)
-                        : rewrite_bottom_up(mig, oracle, params, local);
+                        ? rewrite_top_down(mig, oracle, driver_params, local)
+                        : rewrite_bottom_up(mig, oracle, driver_params, local);
   result = result.cleanup();
 
   local.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   local.size_after = result.count_live_gates();
   local.depth_after = result.depth();
+  local.oracle_queries = tally.queries.load(std::memory_order_relaxed);
+  local.oracle_answered = tally.answered.load(std::memory_order_relaxed);
+  local.oracle_cache5_hits = tally.cache5_hits.load(std::memory_order_relaxed);
+  local.oracle_synthesized = tally.synthesized.load(std::memory_order_relaxed);
+  local.oracle_failures = tally.failures.load(std::memory_order_relaxed);
+  if (params.tally != nullptr) {
+    params.tally->queries.fetch_add(local.oracle_queries, std::memory_order_relaxed);
+    params.tally->answered.fetch_add(local.oracle_answered, std::memory_order_relaxed);
+    params.tally->cache5_hits.fetch_add(local.oracle_cache5_hits,
+                                        std::memory_order_relaxed);
+    params.tally->synthesized.fetch_add(local.oracle_synthesized,
+                                        std::memory_order_relaxed);
+    params.tally->failures.fetch_add(local.oracle_failures, std::memory_order_relaxed);
+  }
   if (stats != nullptr) *stats = local;
   return result;
 }

@@ -25,6 +25,9 @@ class ThreadPool;
 
 namespace mighty::opt {
 
+class ReplacementOracle;
+struct OracleTally;
+
 enum class Direction { top_down, bottom_up };
 
 struct RewriteParams {
@@ -56,6 +59,10 @@ struct RewriteParams {
   /// any pool size, including none.  Global variants ignore the pool (their
   /// cuts cross region boundaries and serialize).  Not owned.
   util::ThreadPool* pool = nullptr;
+  /// Per-call oracle accounting sink.  functional_hashing() installs its own
+  /// when none is given, and reports the result through RewriteStats; set it
+  /// only to aggregate several calls into one tally.  Not owned.
+  OracleTally* tally = nullptr;
 };
 
 struct RewriteStats {
@@ -65,10 +72,16 @@ struct RewriteStats {
   uint32_t depth_after = 0;
   uint64_t cuts_evaluated = 0;
   uint64_t replacements = 0;
+  /// Oracle activity of exactly this call, tallied per query rather than
+  /// snapshotted from the shared oracle's lifetime counters — so attribution
+  /// stays exact when concurrent passes (batch runs) share one oracle.
+  uint64_t oracle_queries = 0;
+  uint64_t oracle_answered = 0;
+  uint64_t oracle_cache5_hits = 0;
+  uint64_t oracle_synthesized = 0;
+  uint64_t oracle_failures = 0;
   double seconds = 0.0;
 };
-
-class ReplacementOracle;
 
 /// Applies one pass of functional hashing over a caller-owned replacement
 /// oracle, so its caches (5-input synthesis results, hit statistics) persist

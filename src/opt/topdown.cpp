@@ -59,7 +59,7 @@ std::optional<Plan> choose_plan(const mig::Mig& mig, ReplacementOracle& oracle,
     }
     ++counters.cuts_evaluated;
     const auto f = mig::simulate_cut(mig, v, leaves);
-    const auto info = oracle.query(f);
+    const auto info = oracle.query(f, params.tally);
     if (!info) continue;
     const int gain = static_cast<int>(cone.size()) - static_cast<int>(info->size);
     if (gain <= best_gain) continue;
@@ -118,7 +118,8 @@ void plan_region(const mig::Mig& mig, ReplacementOracle& oracle,
 /// Phase 2 shared by both modes: walk the plans from the outputs to find the
 /// needed nodes, then rebuild in ascending (= topological) node order.
 mig::Mig rebuild_from_plans(const mig::Mig& mig, ReplacementOracle& oracle,
-                            const std::vector<Plan>& plans) {
+                            const std::vector<Plan>& plans,
+                            OracleTally* tally) {
   std::vector<int8_t> needed(mig.num_nodes(), 0);
   std::vector<uint32_t> stack;
   for (const mig::Signal o : mig.outputs()) stack.push_back(o.index());
@@ -146,7 +147,7 @@ mig::Mig rebuild_from_plans(const mig::Mig& mig, ReplacementOracle& oracle,
       std::vector<mig::Signal> leaf_signals;
       leaf_signals.reserve(plans[v].leaves.size());
       for (const uint32_t l : plans[v].leaves) leaf_signals.push_back(map[l]);
-      map[v] = oracle.instantiate(plans[v].func, result, leaf_signals);
+      map[v] = oracle.instantiate(plans[v].func, result, leaf_signals, tally);
     } else {
       const auto& f = mig.fanins(v);
       map[v] = result.create_maj(map[f[0].index()] ^ f[0].is_complemented(),
@@ -206,7 +207,7 @@ mig::Mig rewrite_top_down_ffr(const mig::Mig& mig, ReplacementOracle& oracle,
     stats.cuts_evaluated += c.cuts_evaluated;
     stats.replacements += c.replacements;
   }
-  return rebuild_from_plans(mig, oracle, plans);
+  return rebuild_from_plans(mig, oracle, plans, params.tally);
 }
 
 }  // namespace
@@ -251,7 +252,7 @@ mig::Mig rewrite_top_down(const mig::Mig& mig, ReplacementOracle& oracle,
   }
   stats.cuts_evaluated += counters.cuts_evaluated;
   stats.replacements += counters.replacements;
-  return rebuild_from_plans(mig, oracle, plans);
+  return rebuild_from_plans(mig, oracle, plans, params.tally);
 }
 
 }  // namespace mighty::opt

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace mighty::util {
 
@@ -33,68 +34,155 @@ ThreadPool::~ThreadPool() {
   }
   wake_.notify_all();
   for (auto& worker : workers_) worker.join();
+  // Anything still queued is a stale parallel_for driver whose job already
+  // completed (parallel_for and TaskGroup::wait return only when their work
+  // is done); dropping it merely releases the job's shared state.
+  queue_.clear();
 }
 
-void ThreadPool::drain(const std::function<void(size_t)>& fn, size_t count) {
-  for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
-       i = next_.fetch_add(1, std::memory_order_relaxed)) {
-    try {
-      fn(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!error_) error_ = std::current_exception();
-      // Stop claiming further items; peers finish their current one and exit.
-      next_.store(count, std::memory_order_relaxed);
-      return;
+void ThreadPool::drain(ForJob& job) {
+  // fetch_add may overshoot count when several drainers race past the end;
+  // indices >= count were never claimed by anyone, so the drainer just exits.
+  for (size_t i = job.next.fetch_add(1, std::memory_order_relaxed); i < job.count;
+       i = job.next.fetch_add(1, std::memory_order_relaxed)) {
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        job.failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(job.mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+    if (job.finished.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
+      // Empty critical section: the waiter must be either inside its
+      // predicate check or asleep when the notification fires, never between
+      // the two, or the wakeup would be lost.
+      { std::lock_guard<std::mutex> lock(job.mutex); }
+      job.done.notify_all();
     }
   }
 }
 
+void ThreadPool::enqueue(std::vector<std::function<void()>> tasks) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& task : tasks) queue_.push_back(std::move(task));
+  }
+  wake_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
-  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    const std::function<void(size_t)>* fn = nullptr;
-    size_t count = 0;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
-      if (stop_) return;
-      seen_generation = generation_;
-      fn = job_fn_;
-      count = job_count_;
-    }
-    drain(*fn, count);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--active_workers_ == 0) done_.notify_one();
-    }
+    wake_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
   }
 }
 
 void ThreadPool::parallel_for(size_t count, const std::function<void(size_t)>& fn) {
   if (count == 0) return;
-  if (workers_.empty()) {
+  if (workers_.empty() || count == 1) {
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_fn_ = &fn;
-    job_count_ = count;
-    next_.store(0, std::memory_order_relaxed);
-    active_workers_ = static_cast<uint32_t>(workers_.size());
-    error_ = nullptr;
-    ++generation_;
+  // The job outlives this frame only inside driver closures; a driver that
+  // runs after completion claims an index >= count and never touches fn,
+  // which is the only pointer into this frame.
+  auto job = std::make_shared<ForJob>();
+  job->fn = &fn;
+  job->count = count;
+  const size_t drivers = std::min(workers_.size(), count - 1);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(drivers);
+  for (size_t d = 0; d < drivers; ++d) {
+    tasks.emplace_back([job] { drain(*job); });
   }
-  wake_.notify_all();
-  drain(fn, count);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [&] { return active_workers_ == 0; });
-  if (error_) {
-    auto error = error_;
-    error_ = nullptr;
+  enqueue(std::move(tasks));
+  drain(*job);
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->done.wait(lock, [&] {
+    return job->finished.load(std::memory_order_acquire) == job->count;
+  });
+  if (job->error) {
+    auto error = std::move(job->error);
+    job->error = nullptr;
     std::rethrow_exception(error);
   }
+}
+
+// --- TaskGroup ---------------------------------------------------------------
+
+ThreadPool::TaskGroup::TaskGroup(ThreadPool& pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Completion is what the destructor owes; the error was only observable
+    // through an explicit wait().
+  }
+}
+
+void ThreadPool::TaskGroup::submit(std::function<void()> task) {
+  if (pool_.workers_.empty()) {
+    // Single-threaded pool: run inline so submission order is execution
+    // order.  Errors still surface through wait(), as in the parallel case.
+    try {
+      task();
+    } catch (...) {
+      if (!state_->error) state_->error = std::current_exception();
+    }
+    return;
+  }
+  auto wrapper = [pool = &pool_, state = state_, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(pool->mutex_);
+      if (!state->error) state->error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool->mutex_);
+      --state->pending;
+    }
+    pool->wake_.notify_all();
+  };
+  {
+    std::lock_guard<std::mutex> lock(pool_.mutex_);
+    ++state_->pending;
+    pool_.queue_.push_back(std::move(wrapper));
+  }
+  pool_.wake_.notify_all();
+}
+
+void ThreadPool::TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(pool_.mutex_);
+  while (state_->pending > 0) {
+    if (!pool_.queue_.empty()) {
+      // Help drain: the task may belong to this group, another group, or be
+      // a parallel_for driver — any of them is progress.
+      auto task = std::move(pool_.queue_.front());
+      pool_.queue_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+    } else {
+      pool_.wake_.wait(lock, [&] {
+        return state_->pending == 0 || !pool_.queue_.empty();
+      });
+    }
+  }
+  auto error = std::move(state_->error);
+  state_->error = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace mighty::util

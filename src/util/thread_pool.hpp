@@ -3,24 +3,40 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 /// \file thread_pool.hpp
-/// \brief A small work-sharing thread pool for shard-parallel passes.
+/// \brief A small work-sharing thread pool for shard-parallel passes and for
+/// the two-level batch scheduler.
 ///
-/// The pool implements exactly one primitive, parallel_for: run fn(i) for
-/// every i in [0, count), distributing indices dynamically over the workers
-/// and the calling thread.  Dynamic distribution is safe for the sharded
-/// optimization passes because every task writes only to slots it owns —
-/// results are a pure function of the task index, never of the schedule —
-/// which is what makes `--threads N` bit-identical to `--threads 1`.
+/// Two primitives share one set of workers and one FIFO task queue:
+///
+///  * parallel_for: run fn(i) for every i in [0, count), distributing indices
+///    dynamically over the workers and the calling thread.  Dynamic
+///    distribution is safe for the sharded optimization passes because every
+///    task writes only to slots it owns — results are a pure function of the
+///    task index, never of the schedule — which is what makes `--threads N`
+///    bit-identical to `--threads 1`.
+///
+///  * TaskGroup: submit independent tasks (the batch runner's (network, pass)
+///    units) and wait for all of them; a task may submit follow-up tasks into
+///    its own group, so a chain of dependent passes is expressed as a task
+///    that enqueues its successor.  wait() participates in draining the
+///    queue, so the caller is a worker too.
+///
+/// The two levels compose: a TaskGroup task may call parallel_for on the same
+/// pool (its inner shard fan-out); the caller of parallel_for always drains
+/// its own job, so completion never depends on idle workers being available.
 ///
 /// A pool of parallelism 1 has no worker threads at all; parallel_for then
-/// degenerates to an inline loop on the caller.
+/// degenerates to an inline loop and TaskGroup::submit runs tasks
+/// immediately, in submission order.
 
 namespace mighty::util {
 
@@ -43,29 +59,77 @@ public:
 
   /// Runs fn(i) for every i in [0, count); returns when all invocations have
   /// finished.  The first exception thrown by any invocation is rethrown on
-  /// the caller after the remaining claimed items complete (unclaimed items
-  /// are abandoned).  Not reentrant: fn must not call parallel_for on the
-  /// same pool.
+  /// the caller once in-flight items complete (items not yet started are
+  /// skipped).  May be called from inside a TaskGroup task or another
+  /// parallel_for item on the same pool: each job is independent and the
+  /// caller drains its own job, so nesting cannot deadlock.
   void parallel_for(size_t count, const std::function<void(size_t)>& fn);
 
+  /// A set of independently scheduled tasks with a completion barrier: the
+  /// unit the batch runner schedules is one (network, pass) task, and each
+  /// task submits its network's next pass into the same group.  Tasks may run
+  /// on any worker or on the thread calling wait().
+  class TaskGroup {
+  public:
+    explicit TaskGroup(ThreadPool& pool);
+    /// Waits for outstanding tasks; a pending task exception is dropped here
+    /// (destructors must not throw) — call wait() to observe it.
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Enqueues a task.  Safe to call from inside a running task of the same
+    /// group (the chain-scheduling case).  On a single-threaded pool the task
+    /// runs inline before submit returns.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task (including transitively submitted
+    /// ones) has finished, helping to drain the pool's queue meanwhile.
+    /// Rethrows the first exception that escaped a task.
+    void wait();
+
+  private:
+    struct State {
+      size_t pending = 0;           ///< guarded by the pool's mutex
+      std::exception_ptr error;     ///< guarded by the pool's mutex
+    };
+
+    ThreadPool& pool_;
+    std::shared_ptr<State> state_;
+  };
+
 private:
+  /// Shared state of one parallel_for call.  Index claiming is a single
+  /// fetch_add, so an index is either run by exactly one drainer or skipped
+  /// after an error; `finished` counts both and completion is exactly
+  /// `finished == count` — no claim/accounting race window.  The per-item
+  /// path is two relaxed atomic increments; the mutex is touched only to
+  /// record an error and to publish completion.
+  struct ForJob {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> finished{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;     ///< guarded by mutex
+  };
+
+  static void drain(ForJob& job);
+  void enqueue(std::vector<std::function<void()>> tasks);
   void worker_loop();
-  /// Claims and runs items of the current job until none are left or an
-  /// error is recorded.  Called by workers and by the parallel_for caller.
-  void drain(const std::function<void(size_t)>& fn, size_t count);
 
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;
+  /// Queue activity and group completion share one condition variable:
+  /// workers wake on stop/queue-non-empty, group waiters additionally on
+  /// pending reaching zero.  notify_all keeps the predicates honest.
   std::condition_variable wake_;
-  std::condition_variable done_;
-  uint64_t generation_ = 0;
+  std::deque<std::function<void()>> queue_;
   bool stop_ = false;
-  const std::function<void(size_t)>* job_fn_ = nullptr;
-  size_t job_count_ = 0;
-  std::atomic<size_t> next_{0};
-  uint32_t active_workers_ = 0;
-  std::exception_ptr error_;
 };
 
 }  // namespace mighty::util

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "cec/cec.hpp"
@@ -64,6 +68,93 @@ TEST(BlifTest, ReadsForeignBlif) {
   const auto tc = tt::TruthTable::projection(3, 2);
   EXPECT_EQ(tts[0], (ta & tb) | tc);
   EXPECT_EQ(tts[1], ~ta);
+}
+
+TEST(BlifTest, ReadsCrlfLineEndings) {
+  // The same model as ReadsForeignBlif, exported with \r\n line endings and
+  // a backslash continuation followed by a carriage return — the shape
+  // Windows tools produce.
+  const std::string text =
+      ".model test\r\n"
+      ".inputs a \\\r\n"
+      "b c\r\n"
+      ".outputs f\r\n"
+      ".names a b t\r\n"
+      "11 1\r\n"
+      ".names t c f\r\n"
+      "1- 1\r\n"
+      "-1 1\r\n"
+      ".end\r\n";
+  std::stringstream ss(text);
+  const auto m = read_blif(ss);
+  ASSERT_EQ(m.num_pis(), 3u);
+  ASSERT_EQ(m.num_pos(), 1u);
+  const auto tts = mig::output_truth_tables(m);
+  const auto ta = tt::TruthTable::projection(3, 0);
+  const auto tb = tt::TruthTable::projection(3, 1);
+  const auto tc = tt::TruthTable::projection(3, 2);
+  EXPECT_EQ(tts[0], (ta & tb) | tc);
+}
+
+TEST(BlifTest, ContinuationDoesNotFuseTokens) {
+  // "a\" + newline + "b" lists two signals, not one called "ab"; trailing
+  // whitespace after the backslash must not defeat the continuation.
+  const std::string text =
+      ".model test\n"
+      ".inputs a\\ \n"
+      "b\n"
+      ".outputs f\n"
+      ".names a b f\n"
+      "11 1\n"
+      ".end\n";
+  std::stringstream ss(text);
+  const auto m = read_blif(ss);
+  EXPECT_EQ(m.num_pis(), 2u);
+}
+
+TEST(BlifTest, ErrorsCarryLineNumbers) {
+  const auto message_of = [](const std::string& text) {
+    std::stringstream ss(text);
+    try {
+      read_blif(ss);
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what());
+    }
+    return std::string("(no error)");
+  };
+  EXPECT_NE(message_of(".model x\n.inputs a\n.outputs q\n.latch a q\n.end\n")
+                .find("BLIF line 4"),
+            std::string::npos);
+  // Undriven output: the error points at the .outputs line that demands it.
+  EXPECT_NE(message_of(".model x\n.inputs a\n.outputs q\n.end\n")
+                .find("BLIF line 3"),
+            std::string::npos);
+  // Malformed cover row: attributed to the table's .names line.
+  EXPECT_NE(message_of(".model x\n.inputs a b\n.outputs q\n.names a b q\n1 1\n.end\n")
+                .find("BLIF line 4"),
+            std::string::npos);
+  EXPECT_NE(message_of(".model x\n.inputs a\n.outputs q\n.names a q\n1 1\n1\\\n"),
+            "(no error)");
+}
+
+TEST(BlifTest, FileErrorsNameTheFile) {
+  // Unique per process: concurrent suite runs (Debug + TSan trees on one
+  // machine) must not race on a shared fixture file.
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("mighty_io_bad_" + std::to_string(::getpid()) + ".blif"))
+          .string();
+  std::ofstream os(path);
+  os << ".model x\n.inputs a\n.outputs q\n.end\n";
+  os.close();
+  try {
+    read_blif_file(path);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("BLIF line"), std::string::npos);
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(BlifTest, RejectsLatches) {

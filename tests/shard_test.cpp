@@ -201,5 +201,84 @@ TEST(ThreadPoolTest, HandlesZeroAndOversizedCounts) {
   EXPECT_EQ(ran.load(), 3u);
 }
 
+// --- task groups (the batch runner's outer scheduling level) ------------------
+
+TEST(TaskGroupTest, RunsEverySubmittedTask) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<uint32_t>> hits(200);
+  util::ThreadPool::TaskGroup group(pool);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    group.submit([&hits, i] { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1u);
+}
+
+TEST(TaskGroupTest, TasksMaySubmitSuccessors) {
+  // The batch pattern: a (network, pass) task enqueues its network's next
+  // pass.  Eight chains of twelve links each must all complete.
+  util::ThreadPool pool(4);
+  constexpr size_t kChains = 8, kLinks = 12;
+  std::vector<std::atomic<uint32_t>> progress(kChains);
+  util::ThreadPool::TaskGroup group(pool);
+  std::function<void(size_t, size_t)> step = [&](size_t chain, size_t link) {
+    progress[chain].fetch_add(1, std::memory_order_relaxed);
+    if (link + 1 < kLinks) {
+      group.submit([&step, chain, link] { step(chain, link + 1); });
+    }
+  };
+  for (size_t c = 0; c < kChains; ++c) {
+    group.submit([&step, c] { step(c, 0); });
+  }
+  group.wait();
+  for (const auto& p : progress) EXPECT_EQ(p.load(), kLinks);
+}
+
+TEST(TaskGroupTest, SingleThreadRunsInlineInSubmissionOrder) {
+  util::ThreadPool pool(1);
+  std::vector<int> order;
+  util::ThreadPool::TaskGroup group(pool);
+  for (int i = 0; i < 5; ++i) {
+    group.submit([&order, i] { order.push_back(i); });
+  }
+  group.wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskGroupTest, WaitRethrowsTaskException) {
+  util::ThreadPool pool(4);
+  util::ThreadPool::TaskGroup group(pool);
+  std::atomic<uint32_t> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    group.submit([&ran, i] {
+      if (i == 7) throw std::runtime_error("boom");
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The pool survives; a fresh group works.
+  util::ThreadPool::TaskGroup next(pool);
+  next.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  next.wait();
+  EXPECT_GE(ran.load(), 20u);
+}
+
+TEST(TaskGroupTest, TasksMayFanOutWithParallelFor) {
+  // Two-level composition: an outer task runs an inner parallel_for on the
+  // same pool — exactly what a shard-parallel pass does inside a batch task.
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<uint32_t>> hits(4 * 64);
+  util::ThreadPool::TaskGroup group(pool);
+  for (size_t outer = 0; outer < 4; ++outer) {
+    group.submit([&pool, &hits, outer] {
+      pool.parallel_for(64, [&hits, outer](size_t inner) {
+        hits[outer * 64 + inner].fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  group.wait();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1u);
+}
+
 }  // namespace
 }  // namespace mighty

@@ -6,6 +6,9 @@ table4_mapping with --json) against a checked-in baseline:
 
   * quality metrics (size, depth, luts, lut_depth, ...) FAIL the gate when
     they regress — any value strictly greater than the baseline's;
+  * rate metrics (names ending in "_rate", e.g. the corpus bench's
+    cache5_reuse_rate) are higher-is-better: they FAIL when they drop below
+    the baseline (these are deterministic counter ratios, not wall time);
   * wall time ("seconds" metrics) only WARNS, because CI machines are noisy;
     the tolerance factor is configurable;
   * a benchmark or variant present in the baseline but missing from the
@@ -24,6 +27,11 @@ import json
 import sys
 
 WALL_METRICS = {"seconds"}
+# Counter-ratio metrics where higher is better (cache reuse, oracle hit
+# rates).  Deterministic for a fixed corpus and script, so compared with only
+# a float-formatting epsilon.
+RATE_SUFFIX = "_rate"
+RATE_EPSILON = 1e-6
 
 
 def load(path):
@@ -52,6 +60,14 @@ def compare_metrics(context, baseline, current, tolerance, report):
                 report["warnings"].append(
                     f"{context}: {metric} {value:.2f}s vs baseline "
                     f"{base_value:.2f}s (> x{tolerance:g}; wall time is warn-only)")
+        elif metric.endswith(RATE_SUFFIX):
+            if value < base_value - RATE_EPSILON:
+                report["failures"].append(
+                    f"{context}: {metric} regressed {base_value:g} -> {value:g} "
+                    f"(higher is better)")
+            elif value > base_value + RATE_EPSILON:
+                report["improvements"].append(
+                    f"{context}: {metric} improved {base_value:g} -> {value:g}")
         elif value > base_value:
             report["failures"].append(
                 f"{context}: {metric} regressed {base_value:g} -> {value:g}")

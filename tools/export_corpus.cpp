@@ -1,0 +1,45 @@
+// Exports the built-in generator corpus (flow::Corpus::generated_arithmetic)
+// as BLIF files, one per network, into the directory given as argv[1].
+//
+// Driven by tools/make_corpus.cmake: the `corpus` build target writes
+// ${CMAKE_BINARY_DIR}/data/corpus/*.blif so the batch tests and
+// bench/corpus_flow have a reproducible on-disk corpus without committing
+// binaries.  The files round-trip through io::read_blif, so a corpus loaded
+// from this directory is functionally identical to the generated one.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "flow/corpus.hpp"
+#include "io/io.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-directory>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path directory = argv[1];
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", directory.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  // Clear stale exports: a renamed or removed generator must not leave its
+  // old network behind, or directory loads diverge from the generated corpus.
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".blif") {
+      std::filesystem::remove(entry.path());
+    }
+  }
+  const auto corpus = mighty::flow::Corpus::generated_arithmetic();
+  for (const auto& entry : corpus) {
+    const auto path = directory / (entry.name + ".blif");
+    mighty::io::write_blif_file(path.string(), entry.mig, entry.name);
+    std::printf("%-14s %5u gates, depth %3u -> %s\n", entry.name.c_str(),
+                entry.mig.count_live_gates(), entry.mig.depth(),
+                path.c_str());
+  }
+  return 0;
+}

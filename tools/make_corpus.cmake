@@ -1,0 +1,32 @@
+# Defines the `corpus` target: exports the built-in generator corpus
+# (flow::Corpus::generated_arithmetic) as BLIF files into
+# ${CMAKE_BINARY_DIR}/data/corpus/, one file per network, at build time.
+#
+# The corpus is a pure function of src/gen + src/io, so it is regenerated
+# whenever the exporter relinks; nothing binary is ever committed.  Consumers:
+#
+#   * tests: batch_flow_test reads it through the MIGHTY_CORPUS_DIR
+#     environment variable set on the ctest entries (see the test section);
+#   * bench/corpus_flow --corpus ${MIGHTY_CORPUS_DIR} (defaults to the
+#     generated corpus when the flag is absent, so it also runs standalone).
+#
+# Include after the `mighty` library and tool targets are defined.
+
+set(MIGHTY_CORPUS_DIR ${CMAKE_BINARY_DIR}/data/corpus)
+
+add_executable(export_corpus ${CMAKE_CURRENT_SOURCE_DIR}/tools/export_corpus.cpp)
+target_link_libraries(export_corpus PRIVATE mighty)
+
+# The stamp keeps the custom command out of the "always rebuild" class: it
+# reruns only when the exporter itself (and thus the generators) changed.
+# It lives inside the corpus directory, so deleting the directory also
+# invalidates the stamp and the next build re-exports.
+add_custom_command(
+  OUTPUT ${MIGHTY_CORPUS_DIR}/.stamp
+  COMMAND export_corpus ${MIGHTY_CORPUS_DIR}
+  COMMAND ${CMAKE_COMMAND} -E touch ${MIGHTY_CORPUS_DIR}/.stamp
+  DEPENDS export_corpus
+  COMMENT "Exporting generator corpus to ${MIGHTY_CORPUS_DIR}"
+  VERBATIM)
+
+add_custom_target(corpus ALL DEPENDS ${MIGHTY_CORPUS_DIR}/.stamp)
