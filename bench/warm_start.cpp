@@ -1,0 +1,163 @@
+// Cross-process warm start through the persisted 5-input oracle cache
+// (ROADMAP "persist the oracle cache to disk" item).
+//
+// Two phases simulate two processes sharing one cache file:
+//
+//   * first  — a fresh Session attached to the cache file runs the corpus
+//     batch; BatchRunner persists the 5-input cache once at the end.  (When
+//     the file already exists — e.g. restored from a CI cache — the first
+//     phase itself warm-starts from it; every criterion below still holds.)
+//   * second — a process-equivalent cold start: a brand-new Session and
+//     oracle whose only shared state is the file on disk, running the same
+//     batch after loading it.
+//
+// Criteria, self-checked (the binary exits nonzero when any fails):
+//
+//   * the second phase's networks are bit-identical to the first's —
+//     persistence changes cost, never results;
+//   * the second phase performs zero SAT syntheses: every 5-input function
+//     the script queries is already in the file (same script, same budget);
+//   * the second phase's corpus-wide 5-cut reuse rate is >= the first's
+//     in-process warm rate — a cold process with the file does at least as
+//     well as PR 3's many-networks-one-session sharing.
+//
+// Flags: --corpus DIR (default: built-in generator corpus), --script S
+// (default "TF5;size"), --threads n, --cache FILE (default
+// "warmstart_5cut_cache.db" in the working directory; pre-existing contents
+// are honored, not wiped), --json FILE (BENCH_warmstart.json for the
+// tools/check_bench.py gate).
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "flow/flow.hpp"
+#include "io/io.hpp"
+
+using namespace mighty;
+
+namespace {
+
+std::string to_blif(const mig::Mig& m) {
+  std::ostringstream os;
+  io::write_blif(os, m);
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string corpus_dir = bench::string_flag(argc, argv, "--corpus");
+  const std::string script = bench::string_flag(argc, argv, "--script", "TF5;size");
+  const int threads = bench::int_flag(argc, argv, "--threads", 1);
+  const std::string cache_path =
+      bench::string_flag(argc, argv, "--cache", "warmstart_5cut_cache.db");
+  const std::string json_path = bench::string_flag(argc, argv, "--json");
+  const uint32_t width = static_cast<uint32_t>(threads > 0 ? threads : 1);
+
+  printf("Warm start across processes: script \"%s\", %d thread%s, cache %s\n",
+         script.c_str(), threads, threads == 1 ? "" : "s", cache_path.c_str());
+
+  const auto corpus = corpus_dir.empty() ? flow::Corpus::generated_arithmetic()
+                                         : flow::Corpus::from_directory(corpus_dir);
+  printf("corpus: %zu networks (%s)\n\n", corpus.size(),
+         corpus_dir.empty() ? "built-in generators" : corpus_dir.c_str());
+  const auto pipeline = flow::Pipeline::parse(script);
+
+  // --- first process: run the batch, persist the cache -----------------------
+  flow::Session first;
+  first.set_threads(width);
+  first.set_cache_path(cache_path);
+  const exact::Database& db = first.database();  // share the load below
+
+  flow::BatchReport warm;
+  const auto first_out = flow::BatchRunner(first).run(corpus, pipeline, &warm);
+  fputs(warm.summary().c_str(), stdout);
+  if (warm.failures() > 0) {
+    fprintf(stderr, "first batch failed on %zu network(s)\n", warm.failures());
+    return 1;
+  }
+
+  // --- second process: only the file survives --------------------------------
+  flow::SessionParams params;
+  params.threads = width;
+  params.oracle_cache_path = cache_path;
+  flow::Session second(exact::Database(db), std::move(params));
+  const auto loaded = second.load_cache();
+  if (loaded.status != opt::ReplacementOracle::CacheLoadStatus::loaded) {
+    fprintf(stderr, "persisted cache %s did not load back\n", cache_path.c_str());
+    return 1;
+  }
+  printf("\nsecond process: loaded %zu cache entries from %s\n", loaded.entries,
+         cache_path.c_str());
+
+  flow::BatchReport persisted;
+  const auto second_out = flow::BatchRunner(second).run(corpus, pipeline, &persisted);
+  if (persisted.failures() > 0) {
+    fprintf(stderr, "second batch failed on %zu network(s)\n", persisted.failures());
+    return 1;
+  }
+
+  // --- criteria ---------------------------------------------------------------
+  bool identical = true;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (to_blif(first_out[i]) != to_blif(second_out[i])) {
+      fprintf(stderr, "results diverge on %s\n", corpus[i].name.c_str());
+      identical = false;
+    }
+  }
+  const double warm_rate = warm.cache5_reuse_rate();
+  const double persisted_rate = persisted.cache5_reuse_rate();
+
+  printf("\n%-32s %12s %12s\n", "", "in-process", "persisted");
+  printf("%-32s %12.2f %12.2f\n", "wall time [s]", warm.seconds, persisted.seconds);
+  printf("%-32s %12llu %12llu\n", "5-input syntheses",
+         static_cast<unsigned long long>(warm.oracle_synthesized),
+         static_cast<unsigned long long>(persisted.oracle_synthesized));
+  printf("%-32s %11.1f%% %11.1f%%\n", "5-cut cache reuse", 100.0 * warm_rate,
+         100.0 * persisted_rate);
+  printf("results: %s\n", identical ? "bit-identical across processes" : "MISMATCH");
+
+  const bool no_resynthesis = persisted.oracle_synthesized == 0;
+  if (!no_resynthesis) {
+    fprintf(stderr,
+            "cold process re-synthesized %llu cached function(s) despite the "
+            "persisted cache\n",
+            static_cast<unsigned long long>(persisted.oracle_synthesized));
+  }
+  const bool reuse_holds = persisted_rate + 1e-9 >= warm_rate;
+  if (!reuse_holds) {
+    fprintf(stderr, "persisted reuse %.4f fell below the in-process warm rate %.4f\n",
+            persisted_rate, warm_rate);
+  }
+
+  if (!json_path.empty()) {
+    std::vector<bench::BenchRecord> records;
+    bench::BenchRecord record;
+    record.name = "warmstart";
+    record.baseline = {{"networks", static_cast<double>(corpus.size())},
+                       {"size", static_cast<double>(warm.size_before)}};
+    record.variants.emplace_back(
+        "warm", std::vector<std::pair<std::string, double>>{
+                    {"size", static_cast<double>(warm.size_after)},
+                    {"cache5_reuse_rate", warm_rate},
+                    {"seconds", warm.seconds}});
+    record.variants.emplace_back(
+        "persisted", std::vector<std::pair<std::string, double>>{
+                         {"size", static_cast<double>(persisted.size_after)},
+                         {"cache5_reuse_rate", persisted_rate},
+                         {"syntheses", static_cast<double>(persisted.oracle_synthesized)},
+                         {"seconds", persisted.seconds}});
+    records.push_back(std::move(record));
+    if (bench::write_bench_json(json_path, "warm_start",
+                                corpus_dir.empty() ? "generated" : "directory",
+                                threads, records)) {
+      printf("machine-readable results: %s\n", json_path.c_str());
+    } else {
+      fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return identical && no_resynthesis && reuse_holds ? 0 : 1;
+}

@@ -85,6 +85,9 @@ void Shell::command(const std::string& line) {
         "                        corpus) with the oracle shared corpus-wide;\n"
         "                        networks run concurrently at `threads` > 1\n"
         "  threads [n]           set/show session parallelism (deterministic)\n"
+        "  cache load <path>     merge a persistent 5-input oracle cache\n"
+        "  cache save [path]     persist the oracle cache (also on exit)\n"
+        "  cache stats           show oracle cache size and dirty entries\n"
         "  map [k]               k-LUT mapping (default 6)\n"
         "  cec                   SAT equivalence vs. the originally loaded network\n"
         "  snapshot              make the current network the cec reference\n"
@@ -131,6 +134,60 @@ void Shell::command(const std::string& line) {
     }
     printf("session parallelism: %u thread%s (results are identical at any "
            "count)\n", session.threads(), session.threads() == 1 ? "" : "s");
+    return;
+  }
+  if (cmd == "cache") {
+    std::string sub, path;
+    is >> sub >> path;
+    try {
+      if (sub == "load") {
+        if (path.empty()) {
+          printf("usage: cache load <path>\n");
+          return;
+        }
+        session.set_cache_path(path);  // records only; the load below merges
+        const auto r = session.load_cache();
+        using Status = opt::ReplacementOracle::CacheLoadStatus;
+        if (r.status == Status::missing) {
+          printf("no cache file at %s yet (it will be created on save)\n",
+                 path.c_str());
+        } else if (r.status == Status::malformed) {
+          printf("rejected malformed cache %s (next save rewrites it)\n",
+                 path.c_str());
+        } else {
+          printf("loaded %zu entr%s (%zu adopted) from %s\n", r.entries,
+                 r.entries == 1 ? "y" : "ies", r.adopted, path.c_str());
+        }
+      } else if (sub == "save") {
+        if (!path.empty()) session.set_cache_path(path);
+        if (session.cache_path().empty()) {
+          printf("no cache path set; use `cache save <path>`\n");
+          return;
+        }
+        const size_t written = session.save_cache();
+        if (written == 0) {
+          printf("nothing new to save (cache %s is up to date)\n",
+                 session.cache_path().c_str());
+        } else {
+          printf("saved %zu entr%s to %s\n", written, written == 1 ? "y" : "ies",
+                 session.cache_path().c_str());
+        }
+      } else if (sub == "stats") {
+        printf("cache path: %s\n",
+               session.cache_path().empty() ? "(none)" : session.cache_path().c_str());
+        if (const auto* oracle = session.oracle_if_created()) {
+          const auto s = oracle->cache_stats();
+          printf("5-input cache: %zu entries (%zu replacements, %zu failures), "
+                 "%zu dirty\n", s.entries, s.successes, s.failures, s.dirty);
+        } else {
+          printf("5-input cache: oracle not materialized yet\n");
+        }
+      } else {
+        printf("usage: cache <load|save|stats> [path]\n");
+      }
+    } catch (const std::exception& e) {
+      printf("error: %s\n", e.what());
+    }
     return;
   }
   if (cmd == "batch") {

@@ -2,10 +2,13 @@
 
 #include <chrono>
 #include <cstdlib>
-#include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/atomic_file.hpp"
 
 namespace mighty::exact {
 
@@ -31,18 +34,19 @@ Database Database::build(const SynthesisOptions& options) {
 }
 
 void Database::save(const std::string& path) const {
-  const auto parent = std::filesystem::path(path).parent_path();
-  if (!parent.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(parent, ec);  // best effort; open reports
-  }
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot write database file " + path);
-  os << "mighty-mig-npn4-db v1 " << entries_.size() << '\n';
-  for (const auto& entry : entries_) {
-    os << entry.representative.to_hex() << ' ' << entry.conflicts << ' '
-       << entry.build_seconds << ' ' << entry.chain.to_string() << '\n';
-  }
+  // Temp-file + atomic rename: a crash mid-write must not leave a truncated
+  // database for the next load (which would silently trigger a full rebuild),
+  // and a concurrent loader sees either the old or the new complete file.
+  util::write_file_atomically(path, [this](std::ostream& os) {
+    // max_digits10 makes build_seconds round-trip exactly; the default
+    // precision (6 significant digits) was lossy.
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "mighty-mig-npn4-db v1 " << entries_.size() << '\n';
+    for (const auto& entry : entries_) {
+      os << entry.representative.to_hex() << ' ' << entry.conflicts << ' '
+         << entry.build_seconds << ' ' << entry.chain.to_string() << '\n';
+    }
+  });
 }
 
 std::optional<Database> Database::load(const std::string& path) {
@@ -75,7 +79,12 @@ std::optional<Database> Database::load(const std::string& path) {
     }
     // Consistency check: the stored chain must realize the representative.
     if (entry.chain.simulate() != entry.representative) return std::nullopt;
-    db.index_.emplace(entry.representative.bits(), db.entries_.size());
+    // A duplicate representative means a corrupt or hand-mangled file; the
+    // old last-wins emplace kept the first entry in the index but leaked the
+    // second into entries_ (and past the header count check).
+    if (!db.index_.emplace(entry.representative.bits(), db.entries_.size()).second) {
+      return std::nullopt;
+    }
     db.entries_.push_back(std::move(entry));
   }
   if (db.entries_.size() != count) return std::nullopt;
@@ -85,6 +94,12 @@ std::optional<Database> Database::load(const std::string& path) {
 Database Database::load_or_build(const std::string& path, const SynthesisOptions& options) {
   if (auto db = load(path)) return std::move(*db);
   Database db = build(options);
+  // Two processes that both missed now race to save.  The build takes
+  // minutes, so a concurrent builder may have finished meanwhile: prefer its
+  // completed file over overwriting it (the contents are equivalent, and
+  // skipping the save avoids rename churn).  Saves themselves are atomic
+  // renames, so even a genuine collision leaves a complete file.
+  if (auto concurrent = load(path)) return std::move(*concurrent);
   db.save(path);
   return db;
 }

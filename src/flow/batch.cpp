@@ -22,13 +22,15 @@ double seconds_since(const std::chrono::steady_clock::time_point& start) {
 
 std::vector<mig::Mig> BatchRunner::run(const Corpus& corpus, const Pipeline& pipeline,
                                        BatchReport* report) {
-  // The parallel:n directive mutates the session's executor; mid-batch that
-  // would tear down the very pool the batch is running on.  Group passes
-  // answer for their bodies, so the check reaches any nesting depth.
+  // Session directives ('parallel:n', 'cache:<path>') reconfigure the
+  // session mid-flight: parallel:n tears down the very pool the batch is
+  // running on, and cache:<path> would merge into the oracle while every
+  // network hammers it.  Group passes answer for their bodies, so the check
+  // reaches any nesting depth.
   if (pipeline.mutates_session()) {
     throw std::invalid_argument(
-        "batch pipelines must not contain a 'parallel:n' directive; set the "
-        "session's thread count before the run");
+        "batch pipelines must not contain a session directive ('parallel:n', "
+        "'cache:<path>'); configure the session before the run");
   }
 
   BatchReport local;
@@ -113,6 +115,9 @@ std::vector<mig::Mig> BatchRunner::run(const Corpus& corpus, const Pipeline& pip
 
   out.seconds = seconds_since(start);
   out.finalize();
+  // Persist everything this batch synthesized in one write (a no-op without
+  // a session cache path, or when the corpus brought nothing new).
+  session_.save_cache();
   return results;
 }
 

@@ -11,6 +11,7 @@
 ///   item     := atom ['*' count | '*' '<' count | '*']
 ///   atom     := '(' sequence ')' | word
 ///   word     := variant acronym | size | depth | map[k] | parallel[:]n
+///             | cache:path
 ///
 /// Case-insensitive; whitespace between tokens is insignificant (a token
 /// itself cannot be split: "ma p" is not "map"); empty items ("TF;;BF",
@@ -138,6 +139,23 @@ private:
              "'");
       }
       return result.add(make_parallel_pass(threads)), result;
+    }
+    if (text == "cache") {
+      // "cache:<path>" attaches the persistent 5-input oracle cache.  The
+      // path runs to the next whitespace, ';', ')' or '*' and keeps its
+      // case ('*' stays a repeat suffix, as for every other word — it must
+      // not be swallowed into the filename).
+      if (!consume(':')) fail("expected ':<path>' after 'cache'");
+      skip_space();
+      std::string path;
+      while (pos_ < script_.size() && script_[pos_] != ';' && script_[pos_] != ')' &&
+             script_[pos_] != '*' &&
+             !std::isspace(static_cast<unsigned char>(script_[pos_]))) {
+        path += script_[pos_];
+        ++pos_;
+      }
+      if (path.empty()) fail("expected a file path after 'cache:'");
+      return result.add(make_cache_pass(std::move(path))), result;
     }
     if (text == "map") {
       map::MapParams params;

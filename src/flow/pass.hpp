@@ -140,5 +140,10 @@ std::unique_ptr<Pass> make_lut_map_pass(const map::MapParams& params = {});
 /// pass (script form "parallel:n").  Returns the network unchanged and adds
 /// no trajectory entry — it transforms the engine, not the MIG.
 std::unique_ptr<Pass> make_parallel_pass(uint32_t threads);
+/// Session directive: points the session at a persistent 5-input oracle
+/// cache (script form "cache:<path>") — the file is merged into the oracle
+/// and written back on save/autosave.  Returns the network unchanged and
+/// adds no trajectory entry.
+std::unique_ptr<Pass> make_cache_pass(std::string path);
 
 }  // namespace mighty::flow

@@ -199,6 +199,35 @@ private:
   uint32_t threads_;
 };
 
+/// Session directive: "cache:<path>" attaches the persistent 5-input oracle
+/// cache.  Like ParallelPass it reconfigures the session, not the network.
+class CachePass final : public Pass {
+public:
+  explicit CachePass(std::string path) : path_(std::move(path)) {}
+
+  std::string name() const override { return "cache:" + path_; }
+
+  mig::Mig run(const mig::Mig& mig, Session& session, FlowReport&) const override {
+    // Attach once: inside a repeated pipeline the path is unchanged after
+    // the first round, and the file must not be re-parsed every iteration.
+    if (session.cache_path() != path_) {
+      session.set_cache_path(path_);
+      // A live oracle merges now; a lazy one merges when it materializes.
+      if (session.oracle_if_created() != nullptr) session.load_cache();
+    }
+    return mig;
+  }
+
+  bool mutates_session() const override { return true; }
+
+  std::unique_ptr<Pass> clone() const override {
+    return std::make_unique<CachePass>(path_);
+  }
+
+private:
+  std::string path_;
+};
+
 }  // namespace
 
 std::unique_ptr<Pass> make_rewrite_pass(const std::string& variant) {
@@ -237,6 +266,10 @@ std::unique_ptr<Pass> make_lut_map_pass(const map::MapParams& params) {
 
 std::unique_ptr<Pass> make_parallel_pass(uint32_t threads) {
   return std::make_unique<ParallelPass>(threads == 0 ? 1 : threads);
+}
+
+std::unique_ptr<Pass> make_cache_pass(std::string path) {
+  return std::make_unique<CachePass>(std::move(path));
 }
 
 }  // namespace mighty::flow

@@ -156,6 +156,10 @@ Pipeline& Pipeline::parallel(uint32_t threads) {
   return add(make_parallel_pass(threads));
 }
 
+Pipeline& Pipeline::cache(std::string path) {
+  return add(make_cache_pass(std::move(path)));
+}
+
 Pipeline Pipeline::repeat(uint32_t times) const {
   Pipeline result;
   result.add(std::make_unique<RepeatPass>(*this, times));

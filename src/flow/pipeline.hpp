@@ -39,6 +39,7 @@
 ///             | size | depth                -- algebraic optimization
 ///             | map[k]                      -- k-LUT mapping, default k=6
 ///             | parallel:n                  -- run later passes on n threads
+///             | cache:path                  -- persistent 5-input oracle cache
 
 namespace mighty::flow {
 
@@ -72,6 +73,9 @@ public:
   Pipeline& lut_map(const map::MapParams& params = {});
   /// Appends a "parallel:n" directive: later passes run on n threads.
   Pipeline& parallel(uint32_t threads);
+  /// Appends a "cache:<path>" directive: attaches the session's persistent
+  /// 5-input oracle cache before later passes run.
+  Pipeline& cache(std::string path);
 
   // --- combinators (value semantics; *this is not modified) ------------------
 

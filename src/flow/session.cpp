@@ -1,11 +1,24 @@
 #include "flow/session.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <exception>
 
 namespace mighty::flow {
 
 Session::Session(exact::Database db, SessionParams params)
     : params_(std::move(params)), database_(std::move(db)) {}
+
+Session::~Session() {
+  // Autosave is best effort: destructors must not throw, and losing a save
+  // only costs the next process its warm start, never correctness.
+  try {
+    save_cache();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: oracle cache autosave to %s failed: %s\n",
+                 params_.oracle_cache_path.c_str(), e.what());
+  }
+}
 
 std::string Session::database_path() const {
   return params_.database_path.empty() ? exact::default_database_path()
@@ -20,8 +33,46 @@ const exact::Database& Session::database() {
 }
 
 opt::ReplacementOracle& Session::oracle() {
-  if (!oracle_) oracle_.emplace(database(), params_.oracle);
+  if (!oracle_) {
+    oracle_.emplace(database(), params_.oracle);
+    // Warm-start from the persisted cache the moment the oracle exists, so
+    // the very first pass already reuses other processes' syntheses.
+    if (!params_.oracle_cache_path.empty()) merge_cache_file();
+  }
   return *oracle_;
+}
+
+void Session::set_cache_path(std::string path) {
+  // Recording only — no I/O.  The merge happens when the oracle
+  // materializes or through an explicit load_cache(); a side-effectful
+  // setter would make `cache save <new-path>` read the destination file
+  // and double-parse every `cache load`.
+  params_.oracle_cache_path = std::move(path);
+}
+
+opt::ReplacementOracle::CacheLoadResult Session::load_cache() {
+  if (params_.oracle_cache_path.empty()) return {};
+  if (!oracle_) {
+    // Materializing the oracle already merges the file (and reports its
+    // result); calling oracle() here and merging again would double-parse
+    // and always report "0 adopted".
+    oracle_.emplace(database(), params_.oracle);
+  }
+  return merge_cache_file();
+}
+
+opt::ReplacementOracle::CacheLoadResult Session::merge_cache_file() {
+  const auto result = oracle_->load_cache(params_.oracle_cache_path);
+  if (result.status == opt::ReplacementOracle::CacheLoadStatus::malformed) {
+    std::fprintf(stderr, "warning: ignoring malformed oracle cache %s\n",
+                 params_.oracle_cache_path.c_str());
+  }
+  return result;
+}
+
+size_t Session::save_cache() {
+  if (params_.oracle_cache_path.empty() || !oracle_) return 0;
+  return oracle_->save_cache(params_.oracle_cache_path);
 }
 
 void Session::set_threads(uint32_t threads) {

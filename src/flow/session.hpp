@@ -38,6 +38,12 @@ struct SessionParams {
   /// is enabled by default: passes that never enumerate 5-cuts never query
   /// it, and passes that do share one cache for the whole session.
   opt::OracleParams oracle{.enable_five_input = true};
+  /// On-disk location of the persistent 5-input oracle cache; empty turns
+  /// persistence off.  When set, the file is merged into the oracle when it
+  /// materializes, and the cache is written back by Session::save_cache(),
+  /// once per BatchRunner::run, and automatically on session destruction —
+  /// so a later process warm-starts where this one left off.
+  std::string oracle_cache_path;
   /// Parallelism for shard-parallel passes (1 = everything inline).  The
   /// sharded FFR passes produce bit-identical networks for every value; the
   /// script token "parallel:n" and Session::set_threads() change it later.
@@ -59,6 +65,10 @@ public:
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
+  /// Autosaves the oracle cache when a cache path is set (best effort: a
+  /// failure is reported on stderr, never thrown).
+  ~Session();
+
   /// The NPN-4 database, loaded (or built and saved) on first use.
   const exact::Database& database();
 
@@ -75,6 +85,29 @@ public:
   std::string database_path() const;
 
   const SessionParams& params() const { return params_; }
+
+  // --- persistent 5-input oracle cache ----------------------------------------
+
+  /// Location of the on-disk oracle cache; empty = persistence off.
+  const std::string& cache_path() const { return params_.oracle_cache_path; }
+
+  /// Points the session at an on-disk oracle cache (the `cache:<path>`
+  /// script directive and the shell's `cache` command land here).  Records
+  /// the path without touching the disk: the file is merged when the oracle
+  /// materializes, or immediately via load_cache().  An empty path turns
+  /// persistence (and destructor autosave) off.
+  void set_cache_path(std::string path);
+
+  /// Merges the cache file into the oracle, materializing it.  A missing
+  /// file is normal (status `missing`: it appears on first save); a
+  /// malformed one is reported on stderr, left untouched on disk, and
+  /// ignored — the next save overwrites it wholesale.
+  opt::ReplacementOracle::CacheLoadResult load_cache();
+
+  /// Persists the oracle cache to cache_path().  Returns the number of
+  /// entries written: 0 when no path is set, the oracle never materialized,
+  /// or nothing changed since the last save/load (dirty-entry tracking).
+  size_t save_cache();
 
   // --- parallel execution -----------------------------------------------------
 
@@ -100,6 +133,10 @@ public:
   }
 
 private:
+  /// Merges cache_path() into the materialized oracle, warning on stderr
+  /// about a malformed file.  Requires oracle_ to exist.
+  opt::ReplacementOracle::CacheLoadResult merge_cache_file();
+
   SessionParams params_;
   std::optional<exact::Database> database_;
   std::optional<opt::ReplacementOracle> oracle_;

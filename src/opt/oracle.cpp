@@ -1,19 +1,40 @@
 #include "opt/oracle.hpp"
 
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "exact/exact_synthesis.hpp"
 #include "opt/rewrite.hpp"
+#include "util/atomic_file.hpp"
 
 namespace mighty::opt {
 
 namespace {
+
+constexpr const char* kCacheMagic = "mighty-mig-5cut-cache";
+constexpr const char* kCacheVersion = "v1";
 
 /// Bumps a lifetime counter and its optional per-scope mirror.
 void bump(std::atomic<uint64_t>& global, OracleTally* tally,
           std::atomic<uint64_t> OracleTally::* member) {
   global.fetch_add(1, std::memory_order_relaxed);
   if (tally != nullptr) (tally->*member).fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Orders conflict budgets with -1 (unlimited) on top, so "retry when
+/// queried under a strictly larger budget" and "the larger failure budget
+/// wins a merge" share one comparison.
+int64_t budget_rank(int64_t budget) {
+  return budget < 0 ? std::numeric_limits<int64_t>::max() : budget;
+}
+
+uint64_t total_conflicts(const exact::SynthesisResult& result) {
+  uint64_t total = 0;
+  for (const uint64_t c : result.conflicts_per_step) total += c;
+  return total;
 }
 
 }  // namespace
@@ -25,29 +46,53 @@ ReplacementOracle::ReplacementOracle(const exact::Database& db,
 const exact::MigChain* ReplacementOracle::five_input_chain(const tt::TruthTable& f5,
                                                            OracleTally* tally) {
   const uint64_t key = f5.bits();
-  CacheStripe& stripe = cache5_[(key * 0x9e3779b97f4a7c15ull) >> 60 & (kCacheStripes - 1)];
+  CacheStripe& stripe = stripe_for(key);
   // Synthesis runs under the stripe lock: concurrent queries for the same
   // function would otherwise both pay the SAT solver, and the hit/synthesis
   // counters would depend on thread interleaving.  Functions in other
   // stripes proceed unhindered.
   std::lock_guard<std::mutex> lock(stripe.mutex);
   const auto it = stripe.map.find(key);
+  bool retry = false;
   if (it != stripe.map.end()) {
-    bump(cache5_hits_, tally, &OracleTally::cache5_hits);
-    return it->second ? &*it->second : nullptr;
+    // A failure recorded under a smaller conflict budget is not an answer
+    // for a query with a larger one — persisted caches would otherwise
+    // freeze the failures of low-budget sessions forever.  Successes and
+    // same-or-larger-budget failures are plain hits.
+    retry = !it->second.chain &&
+            budget_rank(params_.synthesis_conflict_limit) > budget_rank(it->second.budget);
+    if (!retry) {
+      bump(cache5_hits_, tally, &OracleTally::cache5_hits);
+      return it->second.chain ? &*it->second.chain : nullptr;
+    }
   }
   exact::SynthesisOptions options;
   options.max_gates = params_.max_gates;
   options.conflict_limit = params_.synthesis_conflict_limit;
   const auto result = exact::synthesize_minimum_mig(f5, options);
   bump(synthesized_, tally, &OracleTally::synthesized);
+
+  CacheEntry& entry = retry ? it->second : stripe.map[key];
+  if (retry) {
+    entry.conflicts += total_conflicts(result);  // retries accumulate effort
+  } else {
+    entry.conflicts = total_conflicts(result);
+  }
+  entry.dirty = true;
   if (result.status == exact::SynthesisStatus::success) {
-    auto [pos, inserted] = stripe.map.emplace(key, result.chain);
-    (void)inserted;
-    return &*pos->second;
+    entry.chain = result.chain;
+    entry.budget = params_.synthesis_conflict_limit;
+    return &*entry.chain;
   }
   bump(failures_, tally, &OracleTally::failures);
-  stripe.map.emplace(key, std::nullopt);
+  // "exhausted" means every decision problem up to max_gates came back UNSAT
+  // — a definitive no that no conflict budget overturns; record it as an
+  // unlimited-budget failure so it is never retried.  A timeout keeps the
+  // finite budget so a richer session can try again.
+  entry.budget = result.status == exact::SynthesisStatus::exhausted
+                     ? -1
+                     : params_.synthesis_conflict_limit;
+  entry.chain.reset();
   return nullptr;
 }
 
@@ -85,6 +130,195 @@ std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthT
   for (uint32_t v = 0; v < f.num_vars(); ++v) info.input_depths[v] = depths[v];
   bump(answered_, tally, &OracleTally::answered);
   return info;
+}
+
+ReplacementOracle::CacheStats ReplacementOracle::cache_stats() const {
+  CacheStats stats;
+  for (const auto& stripe : cache5_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stats.entries += stripe.map.size();
+    for (const auto& [key, entry] : stripe.map) {
+      (void)key;
+      if (entry.chain) {
+        ++stats.successes;
+      } else {
+        ++stats.failures;
+      }
+      if (entry.dirty) ++stats.dirty;
+    }
+  }
+  return stats;
+}
+
+ReplacementOracle::CacheLoadResult ReplacementOracle::load_cache(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return {CacheLoadStatus::missing, 0, 0};
+  const CacheLoadResult malformed{CacheLoadStatus::malformed, 0, 0};
+
+  std::string header;
+  std::getline(is, header);
+  std::istringstream hs(header);
+  std::string magic, version;
+  size_t count = 0;
+  if (!(hs >> magic >> version >> count) || magic != kCacheMagic ||
+      version != kCacheVersion) {
+    return malformed;
+  }
+
+  // Parse and validate the whole file before merging anything: a corrupted,
+  // truncated or duplicate-carrying cache must be rejected without leaving a
+  // partially merged in-memory state behind.  The header count is itself
+  // unvalidated input, so the reserve is clamped — a garbage count must
+  // produce `malformed`, not a length_error from a petabyte reserve.
+  std::vector<std::pair<uint64_t, CacheEntry>> parsed;
+  parsed.reserve(std::min<size_t>(count, 1u << 16));
+  std::unordered_map<uint64_t, bool> seen;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string hex, status;
+    CacheEntry entry;
+    if (!(ls >> hex >> status >> entry.budget >> entry.conflicts)) return malformed;
+    // 5-variable truth tables are exactly 8 hex digits; from_hex would
+    // silently mask a longer string onto the wrong function.
+    if (hex.size() != 8) return malformed;
+    tt::TruthTable f(5);
+    try {
+      f = tt::TruthTable::from_hex(5, hex);
+    } catch (const std::exception&) {
+      return malformed;
+    }
+    if (status == "ok") {
+      std::string rest;
+      std::getline(ls, rest);
+      try {
+        entry.chain = exact::MigChain::from_string(rest);
+      } catch (const std::exception&) {
+        return malformed;
+      }
+      // The stored chain must realize the function it is filed under, and
+      // the line must be exactly its canonical serialization — trailing
+      // garbage would round-trip differently than it parsed.
+      if (entry.chain->num_vars != 5 || entry.chain->simulate() != f) return malformed;
+      const auto canonical = entry.chain->to_string();
+      const auto start = rest.find_first_not_of(' ');
+      if (start == std::string::npos || rest.substr(start) != canonical) {
+        return malformed;
+      }
+    } else if (status == "fail") {
+      std::string extra;
+      if (ls >> extra) return malformed;  // trailing garbage
+    } else {
+      return malformed;
+    }
+    if (!seen.emplace(f.bits(), true).second) return malformed;  // duplicate line
+    entry.dirty = false;  // disk content is by definition persisted
+    parsed.emplace_back(f.bits(), std::move(entry));
+  }
+  if (parsed.size() != count) return malformed;
+
+  CacheLoadResult result{CacheLoadStatus::loaded, parsed.size(), 0};
+  for (auto& [key, disk] : parsed) {
+    CacheStripe& stripe = stripe_for(key);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.map.find(key);
+    if (it == stripe.map.end()) {
+      stripe.map.emplace(key, std::move(disk));
+      ++result.adopted;
+      continue;
+    }
+    CacheEntry& mem = it->second;
+    // Union semantics: a success always beats a failure; between two
+    // successes the in-memory one is kept — both are proven minima of the
+    // same function, and replacing the chain would dangle the stable
+    // pointers five_input_chain hands out; between failures the one
+    // produced under the larger budget wins.
+    const bool adopt =
+        disk.chain ? !mem.chain
+                   : (!mem.chain && budget_rank(disk.budget) > budget_rank(mem.budget));
+    if (adopt) {
+      mem = std::move(disk);
+      ++result.adopted;
+    }
+  }
+
+  // Update what the clean-skip in save_cache may rely on.  Memory equals
+  // the file exactly when every file entry was adopted and nothing else was
+  // cached; a load that merely changed memory invalidates any previous
+  // "path X holds this cache" claim, and a no-op load leaves it intact.
+  size_t total = 0;
+  for (auto& stripe : cache5_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.map.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(persist_mutex_);
+    if (result.adopted == result.entries && total == result.entries) {
+      persisted_path_ = path;
+    } else if (result.adopted > 0) {
+      persisted_path_.clear();
+    }
+  }
+  return result;
+}
+
+size_t ReplacementOracle::save_cache(const std::string& path) {
+  // Snapshot under the stripe locks; entries sorted by truth table so the
+  // file contents are deterministic regardless of hashing or thread
+  // interleaving.  The write itself is crash-safe (temp file + rename), so
+  // a reader — or a crash — never sees a truncated cache.
+  std::vector<std::pair<uint64_t, CacheEntry>> snapshot;
+  size_t dirty = 0;
+  for (auto& stripe : cache5_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const auto& [key, entry] : stripe.map) {
+      if (entry.dirty) ++dirty;
+      snapshot.emplace_back(key, entry);
+    }
+  }
+  // Dirty tracking: an autosave of a cache whose every entry already came
+  // from (or went to) exactly this file must not rewrite it.  A different
+  // target path always gets a write — its current contents are unknown and
+  // skipping would silently keep a stale file there.
+  {
+    std::lock_guard<std::mutex> lock(persist_mutex_);
+    if (dirty == 0 && path == persisted_path_ && std::ifstream(path).good()) return 0;
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  util::write_file_atomically(path, [&snapshot](std::ostream& os) {
+    os << kCacheMagic << ' ' << kCacheVersion << ' ' << snapshot.size() << '\n';
+    for (const auto& [key, entry] : snapshot) {
+      const auto f = tt::TruthTable(5, key);
+      os << f.to_hex() << ' ' << (entry.chain ? "ok" : "fail") << ' '
+         << entry.budget << ' ' << entry.conflicts;
+      if (entry.chain) os << ' ' << entry.chain->to_string();
+      os << '\n';
+    }
+  });
+
+  // Only now — after the rename succeeded — mark what was written as clean.
+  // Entries mutated since the snapshot keep their dirty bit because their
+  // content no longer matches the snapshot's.
+  for (auto& stripe : cache5_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (auto& [key, entry] : stripe.map) {
+      const auto it = std::lower_bound(
+          snapshot.begin(), snapshot.end(), key,
+          [](const auto& a, uint64_t k) { return a.first < k; });
+      if (it != snapshot.end() && it->first == key && it->second.chain == entry.chain &&
+          it->second.budget == entry.budget && it->second.conflicts == entry.conflicts) {
+        entry.dirty = false;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(persist_mutex_);
+    persisted_path_ = path;
+  }
+  return snapshot.size();
 }
 
 mig::Signal ReplacementOracle::instantiate(const tt::TruthTable& f, mig::Mig& mig,

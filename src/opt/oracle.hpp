@@ -2,8 +2,10 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -24,7 +26,17 @@
 ///    dynamically discovered subset (Sec. IV, ref. [9]); this oracle is that
 ///    mechanism.  Synthesis is budgeted both in gate count (it only needs to
 ///    beat the cut's cone) and in SAT conflicts; failures are cached as
-///    "no replacement".
+///    "no replacement" together with the budget that produced them, and are
+///    re-attempted when queried under a strictly larger conflict budget.
+///
+/// The 5-input cache persists to disk (save_cache / load_cache): a versioned
+/// text file alongside the NPN-4 database, one line per function — hex truth
+/// table, chain-or-failure record, the synthesis budget in force, and the
+/// conflicts spent.  Loading unions the file with the in-memory cache (a
+/// cached success always beats a cached failure; among failures the larger
+/// budget wins), so sessions warm-start across processes the same way a
+/// batch run warm-starts across networks.  Dirty-entry tracking lets
+/// save_cache skip the write when nothing changed since the last save/load.
 ///
 /// The oracle is shared by every shard of a parallel pass, so query() and
 /// instantiate() are safe to call concurrently: the 5-input cache is striped
@@ -84,6 +96,50 @@ public:
                           const std::vector<mig::Signal>& leaves,
                           OracleTally* tally = nullptr);
 
+  // --- persistence of the 5-input cache -------------------------------------
+
+  /// Aggregate view of the 5-input cache for reporting.
+  struct CacheStats {
+    size_t entries = 0;    ///< cached functions (successes + failures)
+    size_t successes = 0;  ///< functions with a known replacement chain
+    size_t failures = 0;   ///< functions cached as "no replacement"
+    size_t dirty = 0;      ///< entries not yet persisted by save_cache
+  };
+  CacheStats cache_stats() const;
+
+  enum class CacheLoadStatus {
+    loaded,    ///< file parsed and merged
+    missing,   ///< no file at `path` (a fresh cache; not an error)
+    malformed  ///< rejected: bad header/line/duplicate/inconsistent chain
+  };
+  struct CacheLoadResult {
+    CacheLoadStatus status = CacheLoadStatus::missing;
+    size_t entries = 0;  ///< entries parsed from the file
+    size_t adopted = 0;  ///< entries that changed or extended the in-memory cache
+  };
+
+  /// Merges the cache file at `path` into the in-memory 5-input cache.  The
+  /// file is validated wholesale before any merge (bad magic/version, a
+  /// malformed or duplicate line, a count mismatch, or a chain that does not
+  /// realize its function reject the file without touching the cache).
+  /// Merge semantics: unknown functions are adopted; a success on disk
+  /// replaces an in-memory failure (never the reverse); between two
+  /// failures the larger budget wins; between two successes the in-memory
+  /// chain is kept (both are proven minima, and replacing it would dangle
+  /// outstanding pointers).  Adopted entries are clean; surviving
+  /// in-memory entries keep their dirty bit.  Thread-safe.
+  CacheLoadResult load_cache(const std::string& path);
+
+  /// Persists the whole 5-input cache to `path` (crash-safe: temp file +
+  /// atomic rename; entries sorted by truth table so the file is
+  /// deterministic).  Skipped entirely — returning 0 — when no entry is
+  /// dirty and `path` is known to hold exactly this cache already (the last
+  /// successful save or whole-file load went there), so repeated autosaves
+  /// of an unchanged cache never rewrite the file while saves to a new
+  /// location always write.  Returns the number of entries written and
+  /// marks them clean.  Thread-safe.
+  size_t save_cache(const std::string& path);
+
   /// Number of on-demand syntheses performed / failed (for reporting).
   uint64_t synthesized_count() const {
     return synthesized_.load(std::memory_order_relaxed);
@@ -107,24 +163,49 @@ public:
   }
 
 private:
+  /// One cached 5-input synthesis outcome.  `budget` is the conflict limit
+  /// in force when the entry was produced: -1 means unlimited — for a
+  /// failure that encodes "proved absent within max_gates, never retry",
+  /// while a finite budget on a failure marks a timeout that a later query
+  /// under a larger budget re-attempts.  `conflicts` is the solver effort
+  /// spent producing the entry (summed over decision problems, accumulated
+  /// across retries).  `dirty` tracks divergence from the last save/load.
+  struct CacheEntry {
+    std::optional<exact::MigChain> chain;  ///< nullopt = no replacement
+    int64_t budget = 0;
+    uint64_t conflicts = 0;
+    bool dirty = true;
+  };
+
   /// One lock-striped slice of the 5-input cache.  16 stripes keep cross-
   /// shard contention negligible while a per-stripe lock makes "look up or
   /// synthesize" a single atomic step.
   struct CacheStripe {
-    std::mutex mutex;
-    std::unordered_map<uint64_t, std::optional<exact::MigChain>> map;
+    mutable std::mutex mutex;  ///< cache_stats() locks from a const context
+    std::unordered_map<uint64_t, CacheEntry> map;
   };
   static constexpr size_t kCacheStripes = 16;
 
-  /// Chains are created once and never erased, and unordered_map never moves
-  /// its elements, so the returned pointer stays valid after the stripe lock
-  /// is released.
+  CacheStripe& stripe_for(uint64_t key) {
+    return cache5_[(key * 0x9e3779b97f4a7c15ull) >> 60 & (kCacheStripes - 1)];
+  }
+
+  /// Chains are created once and only ever replaced by a success overwriting
+  /// a failure (never erased), and unordered_map never moves its elements,
+  /// so the returned pointer stays valid after the stripe lock is released.
   const exact::MigChain* five_input_chain(const tt::TruthTable& f5,
                                           OracleTally* tally);
 
   const exact::Database& db_;
   OracleParams params_;
   std::array<CacheStripe, kCacheStripes> cache5_;
+  /// Path whose on-disk contents are known to equal the in-memory cache —
+  /// set by a successful save, or by a load that filled an empty cache
+  /// wholesale; cleared when a load changes memory without that guarantee.
+  /// Together with the dirty bits this gates save_cache's clean-skip, so a
+  /// save to a *different* path never silently keeps a stale file.
+  std::string persisted_path_;
+  std::mutex persist_mutex_;
   std::atomic<uint64_t> synthesized_{0};
   std::atomic<uint64_t> failures_{0};
   std::atomic<uint64_t> queries_{0};

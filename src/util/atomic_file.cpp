@@ -1,0 +1,64 @@
+#include "util/atomic_file.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace mighty::util {
+
+namespace {
+
+/// Temporary name unique across processes (pid) and within one (counter), so
+/// concurrent writers never clobber each other's half-written temporaries.
+std::string unique_tmp_name(const std::string& path) {
+  static std::atomic<uint64_t> serial{0};
+#if defined(_WIN32)
+  const auto pid = _getpid();
+#else
+  const auto pid = getpid();
+#endif
+  return path + ".tmp." + std::to_string(static_cast<long long>(pid)) + "." +
+         std::to_string(serial.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void write_file_atomically(const std::string& path,
+                           const std::function<void(std::ostream&)>& write) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort; open reports
+  }
+  const std::string tmp = unique_tmp_name(path);
+  try {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot write file " + tmp);
+    write(os);
+    os.flush();
+    if (!os) throw std::runtime_error("write failed for " + tmp);
+  } catch (...) {
+    // Also covers a throwing `write` callback: no stray temporaries.
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignore;
+    std::filesystem::remove(tmp, ignore);
+    throw std::runtime_error("cannot rename " + tmp + " over " + path + ": " +
+                             ec.message());
+  }
+}
+
+}  // namespace mighty::util

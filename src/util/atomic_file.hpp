@@ -1,0 +1,28 @@
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+/// \file atomic_file.hpp
+/// \brief Crash-safe whole-file writes.
+///
+/// Writing a database or cache file in place leaves a truncated file behind a
+/// crash mid-write, and a concurrent reader can observe the half-written
+/// state.  write_file_atomically() writes to a uniquely named temporary in
+/// the same directory and renames it over the target: on POSIX the rename is
+/// atomic, so readers only ever see the complete old or the complete new
+/// contents, and a crash leaves at worst a stray *.tmp.* file.
+
+namespace mighty::util {
+
+/// Writes a file via tmp-file + atomic rename.  Creates missing parent
+/// directories.  `write` receives the temporary file's stream and must leave
+/// it in a good state; the temporary is removed and std::runtime_error thrown
+/// if the stream fails or the rename does.  Concurrent writers racing to the
+/// same target are safe: each writes its own temporary and the last rename
+/// wins wholesale.
+void write_file_atomically(const std::string& path,
+                           const std::function<void(std::ostream&)>& write);
+
+}  // namespace mighty::util

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "cec/cec.hpp"
 #include "gen/arith.hpp"
+#include "io/io.hpp"
 #include "mig/algebra/algebra.hpp"
 #include "mig/simulation.hpp"
 #include "opt/rewrite.hpp"
@@ -150,6 +154,159 @@ TEST(FlowSessionTest, OracleMaterializesLazilyAndIsShared) {
   EXPECT_GT(queries_after_first, 0u);
   Pipeline().rewrite("T").run(m, session);
   EXPECT_GT(session.oracle_if_created()->queries(), queries_after_first);
+}
+
+// --- persistent oracle cache through the flow layer --------------------------
+
+TEST(FlowParseTest, CacheDirectiveParsesAndRoundTrips) {
+  const auto p = Pipeline::parse("cache:/tmp/c5.db; TF5; size");
+  EXPECT_EQ(p.num_passes(), 3u);
+  EXPECT_EQ(p.to_string(), "cache:/tmp/c5.db;TF5;size");
+  EXPECT_TRUE(p.mutates_session());
+  // The path keeps its case even though pass words are case-insensitive.
+  EXPECT_EQ(Pipeline::parse("CACHE:/tmp/MixedCase.db").to_string(),
+            "cache:/tmp/MixedCase.db");
+  EXPECT_THROW(Pipeline::parse("cache"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("cache:"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("cache:;TF"), std::invalid_argument);
+  // '*' is a repeat suffix, never part of the filename.
+  EXPECT_EQ(Pipeline::parse("cache:/tmp/x*2").to_string(), "cache:/tmp/x*2");
+  EXPECT_EQ(Pipeline::parse("cache:/tmp/x*2").num_passes(), 1u);  // a repeat group
+}
+
+TEST(FlowSessionTest, SetCachePathRecordsWithoutMerging) {
+  testutil::ScratchDir scratch("mighty_set_cache_path");
+  const auto path = (scratch.dir / "c5.db").string();
+  {
+    SessionParams params;
+    params.oracle_cache_path = path;
+    Session writer(exact::Database(db()), std::move(params));
+    Pipeline::parse("TF5").run(algebra::depth_optimize(gen::make_adder_n(8)), writer);
+  }  // autosave
+
+  // On a session whose oracle is already live, set_cache_path is recording
+  // only — `cache save <path>` must not read the destination file; merging
+  // is load_cache()'s (or materialization's) job.
+  auto session = make_session();
+  Pipeline::parse("TF").run(testutil::random_mig(5, 20, 2, 9), session);
+  ASSERT_NE(session.oracle_if_created(), nullptr);
+  ASSERT_EQ(session.oracle_if_created()->cache_stats().entries, 0u);
+  session.set_cache_path(path);
+  EXPECT_EQ(session.oracle_if_created()->cache_stats().entries, 0u)
+      << "set_cache_path performed a merge";
+  const auto r = session.load_cache();
+  EXPECT_EQ(r.status, opt::ReplacementOracle::CacheLoadStatus::loaded);
+  EXPECT_GT(r.adopted, 0u);
+  EXPECT_EQ(session.oracle_if_created()->cache_stats().entries, r.adopted);
+  session.set_cache_path("");  // keep the autosave off this scratch dir
+}
+
+TEST(FlowSessionTest, CachePersistsAcrossSessions) {
+  const auto dir = std::filesystem::temp_directory_path() / "mighty_flow_cache";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "c5.db").string();
+
+  const auto to_blif = [](const mig::Mig& m) {
+    std::ostringstream os;
+    io::write_blif(os, m);
+    return os.str();
+  };
+  const auto network = algebra::depth_optimize(gen::make_adder_n(10));
+  const auto pipeline = Pipeline::parse("TF5;size");
+
+  std::string first_result;
+  uint64_t first_syntheses = 0;
+  {
+    SessionParams params;
+    params.oracle_cache_path = path;
+    Session session(exact::Database(db()), std::move(params));
+    FlowReport report;
+    first_result = to_blif(pipeline.run(network, session, &report));
+    first_syntheses = report.oracle_synthesized;
+    // Destruction autosaves the dirty cache — no explicit save_cache here.
+  }
+  EXPECT_GT(first_syntheses, 0u);
+  ASSERT_TRUE(std::filesystem::exists(path)) << "autosave did not write " << path;
+
+  // A process-equivalent second session: fresh oracle, same file.
+  SessionParams params;
+  params.oracle_cache_path = path;
+  Session session(exact::Database(db()), std::move(params));
+  FlowReport report;
+  const auto second_result = to_blif(pipeline.run(network, session, &report));
+  EXPECT_EQ(second_result, first_result) << "persisted cache changed the result";
+  EXPECT_EQ(report.oracle_synthesized, 0u)
+      << "cached functions were re-synthesized after reload";
+  EXPECT_GT(report.oracle_cache5_hits, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlowSessionTest, CacheDirectiveAttachesMidFlow) {
+  const auto dir = std::filesystem::temp_directory_path() / "mighty_flow_cache_dir";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "c5.db").string();
+
+  auto session = make_session();
+  EXPECT_TRUE(session.cache_path().empty());
+  const auto network = algebra::depth_optimize(gen::make_adder_n(8));
+  Pipeline::parse("cache:" + path + ";TF5").run(network, session);
+  EXPECT_EQ(session.cache_path(), path);
+  EXPECT_GT(session.save_cache(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  // Second save with nothing new: dirty tracking skips the write.
+  EXPECT_EQ(session.save_cache(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlowSessionTest, MalformedCacheFileIsIgnoredNotFatal) {
+  const auto dir = std::filesystem::temp_directory_path() / "mighty_flow_cache_bad";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "c5.db").string();
+  std::ofstream(path) << "this is not a cache file\n";
+
+  SessionParams params;
+  params.oracle_cache_path = path;
+  Session session(exact::Database(db()), std::move(params));
+  EXPECT_EQ(session.load_cache().status,
+            opt::ReplacementOracle::CacheLoadStatus::malformed);
+  // The flow still runs, and the next save overwrites the bad file wholesale.
+  const auto network = algebra::depth_optimize(gen::make_adder_n(8));
+  Pipeline::parse("TF5").run(network, session);
+  EXPECT_GT(session.save_cache(), 0u);
+  Session reload(exact::Database(db()), SessionParams{.oracle_cache_path = path});
+  EXPECT_EQ(reload.load_cache().status,
+            opt::ReplacementOracle::CacheLoadStatus::loaded);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlowBatchTest, BatchRejectsCacheDirectiveAndSavesOncePerBatch) {
+  const auto dir = std::filesystem::temp_directory_path() / "mighty_batch_cache";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "c5.db").string();
+
+  Corpus corpus;
+  corpus.add("a", algebra::depth_optimize(gen::make_adder_n(6)));
+  corpus.add("b", algebra::depth_optimize(gen::make_adder_n(8)));
+
+  auto session = make_session();
+  // Session directives are rejected inside batch pipelines...
+  EXPECT_THROW(BatchRunner(session).run(corpus, Pipeline::parse("cache:" + path + ";TF")),
+               std::invalid_argument);
+  // ...the session-level path is the supported route; the runner saves once,
+  // after the concurrent part of the batch has quiesced (threads=2 runs the
+  // real two-level scheduler over the shared, persistable oracle).
+  session.set_cache_path(path);
+  session.set_threads(2);
+  BatchReport report;
+  BatchRunner(session).run(corpus, Pipeline::parse("TF5;size"), &report);
+  EXPECT_EQ(report.failures(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(path)) << "batch did not persist the cache";
+  EXPECT_EQ(session.save_cache(), 0u) << "batch left dirty entries unsaved";
+  std::filesystem::remove_all(dir);
 }
 
 // --- combinators -------------------------------------------------------------

@@ -2,13 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <random>
+#include <sstream>
+#include <vector>
 
 #include "cec/cec.hpp"
 #include "gen/arith.hpp"
 #include "mig/algebra/algebra.hpp"
 #include "mig/simulation.hpp"
 #include "opt/rewrite.hpp"
+#include "test_util.hpp"
 
 namespace mighty::opt {
 namespace {
@@ -131,6 +136,274 @@ TEST(OracleTest, BudgetExhaustionIsReportedAsNoReplacement) {
   while (f.support_size() < 5) f = tt::TruthTable(5, rng());
   EXPECT_FALSE(oracle.query(f).has_value());
   EXPECT_GE(oracle.synthesis_failures(), 1u);
+}
+
+// --- persistent 5-input cache ------------------------------------------------
+
+namespace fs = std::filesystem;
+using testutil::ScratchDir;
+
+tt::TruthTable maj5_table() {
+  tt::TruthTable maj5(5);
+  for (uint32_t m = 0; m < 32; ++m) maj5.set_bit(m, __builtin_popcount(m) >= 3);
+  return maj5;
+}
+
+std::vector<tt::TruthTable> structured_five_input_functions() {
+  const auto x = [](uint32_t v) { return tt::TruthTable::projection(5, v); };
+  return {
+      x(0) & x(1) & x(2) & x(3) & x(4),
+      (x(0) & x(1)) | (x(2) & x(3) & x(4)),
+      tt::TruthTable::maj(x(0), x(1), tt::TruthTable::maj(x(2), x(3), x(4))),
+      tt::TruthTable::ite(x(4), x(0) & x(1), x(2) | x(3)),
+      (x(0) ^ x(1)) & (x(2) | x(3)) & x(4),
+  };
+}
+
+TEST(OracleCacheTest, SaveLoadRoundTripServesWithoutSynthesis) {
+  ScratchDir scratch("mighty_oracle_roundtrip");
+  const auto path = (scratch.dir / "c5.db").string();
+  OracleParams params;
+  params.enable_five_input = true;
+
+  std::vector<ReplacementOracle::Info> expected;
+  {
+    ReplacementOracle oracle(db(), params);
+    for (const auto& f : structured_five_input_functions()) {
+      const auto info = oracle.query(f);
+      ASSERT_TRUE(info.has_value());
+      expected.push_back(*info);
+    }
+    EXPECT_GT(oracle.synthesized_count(), 0u);
+    const auto stats = oracle.cache_stats();
+    EXPECT_EQ(stats.dirty, stats.entries);
+    EXPECT_EQ(oracle.save_cache(path), stats.entries);
+    EXPECT_EQ(oracle.cache_stats().dirty, 0u);
+  }
+
+  // A process-equivalent fresh oracle: only the file is shared.
+  ReplacementOracle oracle(db(), params);
+  const auto loaded = oracle.load_cache(path);
+  EXPECT_EQ(loaded.status, ReplacementOracle::CacheLoadStatus::loaded);
+  EXPECT_EQ(loaded.adopted, loaded.entries);
+  const auto functions = structured_five_input_functions();
+  for (size_t i = 0; i < functions.size(); ++i) {
+    const auto info = oracle.query(functions[i]);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->size, expected[i].size);
+    EXPECT_EQ(info->depth, expected[i].depth);
+    EXPECT_EQ(info->input_depths, expected[i].input_depths);
+    // The loaded chain must still realize the function when instantiated.
+    mig::Mig m;
+    const auto pis = m.create_pis(5);
+    m.create_po(oracle.instantiate(functions[i], m, pis));
+    EXPECT_EQ(mig::output_truth_tables(m)[0], functions[i]);
+  }
+  EXPECT_EQ(oracle.synthesized_count(), 0u) << "cached functions were re-synthesized";
+  // Nothing changed, so a re-save to the same file is skipped entirely.
+  EXPECT_EQ(oracle.save_cache(path), 0u);
+}
+
+TEST(OracleCacheTest, MissingFileIsNotAnError) {
+  OracleParams params;
+  params.enable_five_input = true;
+  ReplacementOracle oracle(db(), params);
+  const auto result = oracle.load_cache("/nonexistent/mighty/c5.db");
+  EXPECT_EQ(result.status, ReplacementOracle::CacheLoadStatus::missing);
+  EXPECT_EQ(oracle.cache_stats().entries, 0u);
+}
+
+TEST(OracleCacheTest, CorruptedFilesRejectedWithoutMerging) {
+  ScratchDir scratch("mighty_oracle_corrupt");
+  OracleParams params;
+  params.enable_five_input = true;
+
+  // A valid one-entry file to mutate.
+  const auto valid = (scratch.dir / "valid.db").string();
+  {
+    ReplacementOracle oracle(db(), params);
+    ASSERT_TRUE(oracle.query(maj5_table()).has_value());
+    ASSERT_EQ(oracle.save_cache(valid), 1u);
+  }
+  std::string body;
+  {
+    std::ifstream is(valid);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    body = ss.str();
+  }
+  const auto entry_line = body.substr(body.find('\n') + 1);
+
+  const auto expect_rejected = [&](const char* name, const std::string& contents) {
+    const auto path = (scratch.dir / name).string();
+    std::ofstream(path) << contents;
+    ReplacementOracle oracle(db(), params);
+    const auto result = oracle.load_cache(path);
+    EXPECT_EQ(result.status, ReplacementOracle::CacheLoadStatus::malformed) << name;
+    EXPECT_EQ(oracle.cache_stats().entries, 0u)
+        << name << ": rejected file partially merged";
+  };
+
+  expect_rejected("bad_magic.db", "not-a-cache v1 0\n");
+  expect_rejected("bad_version.db", "mighty-mig-5cut-cache v99 0\n");
+  // A garbage header count must come back malformed, not throw from an
+  // attempted petabyte reserve.
+  expect_rejected("huge_count.db", "mighty-mig-5cut-cache v1 10000000000000000\n");
+  expect_rejected("hex_too_long.db",
+                  "mighty-mig-5cut-cache v1 1\nfffffffff fail 100 0\n");
+  expect_rejected("hex_too_short.db", "mighty-mig-5cut-cache v1 1\nff fail 100 0\n");
+  expect_rejected("fail_trailing_garbage.db",
+                  "mighty-mig-5cut-cache v1 1\nffffffff fail 100 0 junk\n");
+  {
+    // Trailing tokens after a valid chain must not round-trip silently.
+    std::string ok_line = entry_line;
+    while (!ok_line.empty() && ok_line.back() == '\n') ok_line.pop_back();
+    expect_rejected("ok_trailing_garbage.db",
+                    "mighty-mig-5cut-cache v1 1\n" + ok_line + " 7 7 7\n");
+  }
+  expect_rejected("truncated.db",
+                  body.substr(0, body.size() - entry_line.size() / 2));
+  expect_rejected("count_mismatch.db", "mighty-mig-5cut-cache v1 2\n" + entry_line);
+  expect_rejected("duplicate.db",
+                  "mighty-mig-5cut-cache v1 2\n" + entry_line + entry_line);
+  expect_rejected("garbage_line.db",
+                  "mighty-mig-5cut-cache v1 1\nzzzz nope 1 2\n");
+  // A chain filed under the wrong function must fail the simulation check:
+  // swap the truth-table hex of the valid entry for a different function.
+  const auto other = maj5_table() ^ tt::TruthTable::projection(5, 0);
+  expect_rejected("wrong_function.db",
+                  "mighty-mig-5cut-cache v1 1\n" + other.to_hex() +
+                      entry_line.substr(entry_line.find(' ')));
+}
+
+TEST(OracleCacheTest, SuccessBeatsFailureOnMerge) {
+  ScratchDir scratch("mighty_oracle_merge");
+  const auto path = (scratch.dir / "c5.db").string();
+  const auto f = maj5_table();
+
+  // A rich session knows the answer and persists it...
+  OracleParams rich;
+  rich.enable_five_input = true;
+  {
+    ReplacementOracle oracle(db(), rich);
+    ASSERT_TRUE(oracle.query(f).has_value());
+    ASSERT_EQ(oracle.save_cache(path), 1u);
+  }
+
+  // ...a starved oracle records a failure for the same function, then loads
+  // the file: the cached success must win and answer future queries.
+  OracleParams starved = rich;
+  starved.synthesis_conflict_limit = 1;
+  ReplacementOracle oracle(db(), starved);
+  EXPECT_FALSE(oracle.query(f).has_value());
+  const auto loaded = oracle.load_cache(path);
+  EXPECT_EQ(loaded.status, ReplacementOracle::CacheLoadStatus::loaded);
+  EXPECT_EQ(loaded.adopted, 1u);
+  const auto info = oracle.query(f);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->size, 4u);
+  const auto stats = oracle.cache_stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.successes, 1u);
+}
+
+TEST(OracleCacheTest, BudgetUpgradeRetriesPersistedFailure) {
+  ScratchDir scratch("mighty_oracle_budget");
+  const auto path = (scratch.dir / "c5.db").string();
+  const auto f = maj5_table();
+
+  // A starved session caches (and persists) a conflict-limit failure.
+  OracleParams starved;
+  starved.enable_five_input = true;
+  starved.synthesis_conflict_limit = 1;
+  {
+    ReplacementOracle oracle(db(), starved);
+    EXPECT_FALSE(oracle.query(f).has_value());
+    EXPECT_GE(oracle.synthesis_failures(), 1u);
+    ASSERT_EQ(oracle.save_cache(path), 1u);
+  }
+
+  // Same budget: the failure is an authoritative cache hit, no retry.
+  {
+    ReplacementOracle oracle(db(), starved);
+    ASSERT_EQ(oracle.load_cache(path).status, ReplacementOracle::CacheLoadStatus::loaded);
+    EXPECT_FALSE(oracle.query(f).has_value());
+    EXPECT_EQ(oracle.synthesized_count(), 0u);
+  }
+
+  // Larger budget: the persisted failure must not freeze the answer — the
+  // oracle re-attempts and succeeds, and persists the upgrade.
+  OracleParams rich = starved;
+  rich.synthesis_conflict_limit = 200000;
+  {
+    ReplacementOracle oracle(db(), rich);
+    ASSERT_EQ(oracle.load_cache(path).status, ReplacementOracle::CacheLoadStatus::loaded);
+    const auto info = oracle.query(f);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->size, 4u);
+    EXPECT_EQ(oracle.synthesized_count(), 1u);
+    EXPECT_EQ(oracle.save_cache(path), 1u);  // upgraded entry is dirty again
+  }
+
+  // The upgraded success now serves even a starved session from the file.
+  {
+    ReplacementOracle oracle(db(), starved);
+    ASSERT_EQ(oracle.load_cache(path).status, ReplacementOracle::CacheLoadStatus::loaded);
+    EXPECT_TRUE(oracle.query(f).has_value());
+    EXPECT_EQ(oracle.synthesized_count(), 0u);
+  }
+}
+
+TEST(OracleCacheTest, SaveToNewPathAfterCleanLoadStillWrites) {
+  ScratchDir scratch("mighty_oracle_newpath");
+  const auto path_a = (scratch.dir / "a.db").string();
+  const auto path_b = (scratch.dir / "b.db").string();
+  OracleParams params;
+  params.enable_five_input = true;
+
+  {
+    ReplacementOracle oracle(db(), params);
+    ASSERT_TRUE(oracle.query(maj5_table()).has_value());
+    ASSERT_EQ(oracle.save_cache(path_a), 1u);
+  }
+  {
+    // A stale file at b: a different function's cache from another session.
+    ReplacementOracle oracle(db(), params);
+    ASSERT_TRUE(oracle.query(structured_five_input_functions()[0]).has_value());
+    ASSERT_EQ(oracle.save_cache(path_b), 1u);
+  }
+
+  // Loading a leaves the cache clean — but saving to b must still write:
+  // the clean-skip only applies to the path the cache is known to live at.
+  ReplacementOracle oracle(db(), params);
+  ASSERT_EQ(oracle.load_cache(path_a).status, ReplacementOracle::CacheLoadStatus::loaded);
+  EXPECT_EQ(oracle.cache_stats().dirty, 0u);
+  EXPECT_EQ(oracle.save_cache(path_b), 1u) << "stale file at new path kept";
+  // b now holds a's contents: a fresh oracle must answer maj5 from it.
+  ReplacementOracle check(db(), params);
+  ASSERT_EQ(check.load_cache(path_b).status, ReplacementOracle::CacheLoadStatus::loaded);
+  EXPECT_TRUE(check.query(maj5_table()).has_value());
+  EXPECT_EQ(check.synthesized_count(), 0u);
+}
+
+TEST(OracleCacheTest, SaveIsAtomicAndSkipsCleanCaches) {
+  ScratchDir scratch("mighty_oracle_atomic");
+  const auto path = (scratch.dir / "c5.db").string();
+  OracleParams params;
+  params.enable_five_input = true;
+  ReplacementOracle oracle(db(), params);
+  ASSERT_TRUE(oracle.query(maj5_table()).has_value());
+  EXPECT_EQ(oracle.save_cache(path), 1u);
+  EXPECT_EQ(oracle.save_cache(path), 0u);  // clean cache: file untouched
+  // Dirty it again: a new function forces a full (atomic) rewrite.
+  ASSERT_TRUE(oracle.query(structured_five_input_functions()[0]).has_value());
+  EXPECT_EQ(oracle.save_cache(path), 2u);
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(scratch.dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u) << "temp files left behind";
 }
 
 TEST(OracleTest, FiveInputRewritingPreservesFunction) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <filesystem>
 #include <random>
 #include <vector>
 
@@ -8,6 +9,18 @@
 /// Shared helpers for the test suite.
 
 namespace mighty::testutil {
+
+/// A throwaway directory under the system temp root, recreated empty on
+/// construction and removed on destruction.
+struct ScratchDir {
+  std::filesystem::path dir;
+  explicit ScratchDir(const char* name)
+      : dir(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(dir); }
+};
 
 /// Builds a pseudo-random MIG with the given number of PIs and (attempted)
 /// gates; gate fanins are random signals over already-created nodes, so the

@@ -3,15 +3,44 @@
 // tests share, and handy for warming the cache before benchmarking:
 //
 //   $ MIGHTY_DB_PATH=build/data/mig_npn4.db ./build/build_npn_db
+//
+// With --cache <path> it additionally validates a persistent 5-input oracle
+// cache file (the `mighty-mig-5cut-cache v1` format): loads it through the
+// same wholesale validation every session uses and prints its stats.  A
+// missing file is fine (it appears on first save); a malformed one fails the
+// run — useful for checking a CI-restored cache before benches rely on it.
 
 #include <cstdio>
+#include <cstring>
 
 #include "exact/database.hpp"
+#include "opt/oracle.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mighty;
   const std::string path = exact::default_database_path();
   const auto db = exact::Database::load_or_build(path);
   printf("NPN-4 database: %zu classes at %s\n", db.num_entries(), path.c_str());
-  return db.num_entries() == 222 ? 0 : 1;
+  bool ok = db.num_entries() == 222;
+
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache") != 0) continue;
+    const char* cache_path = argv[i + 1];
+    opt::OracleParams params;
+    params.enable_five_input = true;
+    opt::ReplacementOracle oracle(db, params);
+    const auto result = oracle.load_cache(cache_path);
+    using Status = opt::ReplacementOracle::CacheLoadStatus;
+    if (result.status == Status::missing) {
+      printf("5-cut cache: no file at %s yet (created on first save)\n", cache_path);
+    } else if (result.status == Status::malformed) {
+      fprintf(stderr, "5-cut cache: %s is malformed\n", cache_path);
+      ok = false;
+    } else {
+      const auto stats = oracle.cache_stats();
+      printf("5-cut cache: %zu entries at %s (%zu replacements, %zu failures)\n",
+             stats.entries, cache_path, stats.successes, stats.failures);
+    }
+  }
+  return ok ? 0 : 1;
 }
