@@ -1,0 +1,151 @@
+// Flow autotuning over the script grammar (the final ROADMAP item): search
+// for the best flow under an objective, with the paper-default
+// "(TF;BFD;size)*" as the baseline to beat.
+//
+// Self-checked criteria (the binary exits nonzero when any fails):
+//
+//   * the search finds a script whose objective value *strictly* beats the
+//     paper-default flow::kBaselineScript on the same corpus;
+//   * the winning script survives the to_script() round trip
+//     (parse(script).to_script() == script) — reports are reproducible;
+//   * re-running the re-parsed winner reproduces the tuned result
+//     bit-identically: same summed size/depth as the report, and two
+//     independent reruns emit byte-identical BLIF.
+//
+// Flags: --corpus DIR (default: built-in generator corpus), --objective
+// size|depth|product (default size), --population N (default 12),
+// --generations N (default 2), --seed N (default 1), --threads n,
+// --json FILE (BENCH_autotune.json for the tools/check_bench.py gate).
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "flow/flow.hpp"
+#include "io/io.hpp"
+
+using namespace mighty;
+
+namespace {
+
+std::string corpus_blifs(const std::vector<mig::Mig>& networks) {
+  std::ostringstream os;
+  for (const auto& network : networks) io::write_blif(os, network);
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string corpus_dir = bench::string_flag(argc, argv, "--corpus");
+  const std::string objective_arg =
+      bench::string_flag(argc, argv, "--objective", "size");
+  const int population = bench::int_flag(argc, argv, "--population", 12);
+  const int generations = bench::int_flag(argc, argv, "--generations", 2);
+  const int seed = bench::int_flag(argc, argv, "--seed", 1);
+  const int threads = bench::int_flag(argc, argv, "--threads", 1);
+  const std::string json_path = bench::string_flag(argc, argv, "--json");
+
+  flow::TuneParams params;
+  params.objective = flow::parse_objective(objective_arg);
+  params.population = static_cast<uint32_t>(population > 0 ? population : 1);
+  params.generations = static_cast<uint32_t>(generations >= 0 ? generations : 0);
+  params.seed = static_cast<uint32_t>(seed >= 0 ? seed : 1);
+
+  printf("Autotuning the %s objective, population %u, %u generation%s, "
+         "%d thread%s\n",
+         flow::objective_name(params.objective), params.population,
+         params.generations, params.generations == 1 ? "" : "s", threads,
+         threads == 1 ? "" : "s");
+
+  const auto corpus = corpus_dir.empty() ? flow::Corpus::generated_arithmetic()
+                                         : flow::Corpus::from_directory(corpus_dir);
+  printf("corpus: %zu networks (%s)\n\n", corpus.size(),
+         corpus_dir.empty() ? "built-in generators" : corpus_dir.c_str());
+
+  flow::Session session;
+  session.set_threads(static_cast<uint32_t>(threads > 0 ? threads : 1));
+  session.database();  // load once, outside the timed search
+
+  flow::TuneReport report;
+  auto best_pipeline = flow::Autotuner(session, params).tune(corpus, &report);
+  fputs(report.summary().c_str(), stdout);
+
+  const flow::TuneEntry& best = report.best();
+
+  // --- criterion 1: strictly beats the paper default -------------------------
+  const bool beats_baseline = best.objective < report.baseline.objective;
+  if (!beats_baseline) {
+    fprintf(stderr,
+            "search did not beat the baseline: best %llu vs %s = %llu\n",
+            static_cast<unsigned long long>(best.objective), flow::kBaselineScript,
+            static_cast<unsigned long long>(report.baseline.objective));
+  }
+
+  // --- criterion 2: the winning script round-trips ---------------------------
+  const std::string reparsed = flow::Pipeline::parse(best.script).to_script();
+  const bool round_trips = reparsed == best.script;
+  if (!round_trips) {
+    fprintf(stderr, "to_script round trip changed the winner: \"%s\" -> \"%s\"\n",
+            best.script.c_str(), reparsed.c_str());
+  }
+
+  // --- criterion 3: the re-parsed winner reproduces the result ---------------
+  flow::BatchReport first, second;
+  const auto first_out =
+      flow::BatchRunner(session).run(corpus, best_pipeline, &first);
+  const auto second_out = flow::BatchRunner(session).run(
+      corpus, flow::Pipeline::parse(best.script), &second);
+  const bool reproduces = first.size_after == best.size &&
+                          first.depth_after == best.depth &&
+                          corpus_blifs(first_out) == corpus_blifs(second_out);
+  if (!reproduces) {
+    fprintf(stderr,
+            "winner did not reproduce: report %u gates/%llu depth, rerun %u "
+            "gates/%llu depth, BLIF %s\n",
+            best.size, static_cast<unsigned long long>(best.depth),
+            first.size_after, static_cast<unsigned long long>(first.depth_after),
+            corpus_blifs(first_out) == corpus_blifs(second_out) ? "identical"
+                                                                : "DIVERGES");
+  }
+
+  const double improvement =
+      report.baseline.objective == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(best.objective) /
+                      static_cast<double>(report.baseline.objective);
+  printf("\nbest vs baseline: %llu vs %llu (%.2f%% better), pareto front: %zu "
+         "scripts\n",
+         static_cast<unsigned long long>(best.objective),
+         static_cast<unsigned long long>(report.baseline.objective),
+         100.0 * improvement, report.pareto_front().size());
+
+  if (!json_path.empty()) {
+    std::vector<bench::BenchRecord> records;
+    bench::BenchRecord record;
+    record.name = "autotune_" + std::string(flow::objective_name(params.objective));
+    record.baseline = {
+        {"networks", static_cast<double>(corpus.size())},
+        {"objective", static_cast<double>(report.baseline.objective)},
+        {"size", static_cast<double>(report.baseline.size)},
+        {"depth", static_cast<double>(report.baseline.depth)}};
+    record.variants.emplace_back(
+        "tuned", std::vector<std::pair<std::string, double>>{
+                     {"objective", static_cast<double>(best.objective)},
+                     {"size", static_cast<double>(best.size)},
+                     {"depth", static_cast<double>(best.depth)},
+                     {"improvement_rate", improvement},
+                     {"seconds", report.seconds}});
+    records.push_back(std::move(record));
+    if (bench::write_bench_json(json_path, "autotune",
+                                corpus_dir.empty() ? "generated" : "directory",
+                                threads, records)) {
+      printf("machine-readable results: %s\n", json_path.c_str());
+    } else {
+      fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return beats_baseline && round_trips && reproduces ? 0 : 1;
+}

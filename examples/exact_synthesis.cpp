@@ -10,7 +10,9 @@
 // function value at the all-zero assignment).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "exact/exact_synthesis.hpp"
@@ -43,16 +45,30 @@ void print_chain(const exact::MigChain& chain) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  const auto usage = [&] {
     fprintf(stderr, "usage: %s <num_vars> <hex_truth_table> [--smt]\n", argv[0]);
-    return 2;
+    return 1;
+  };
+  if (argc < 3) return usage();
+
+  // `std::stoul(argv[1])` unguarded would abort on "abc" (invalid_argument)
+  // or "99999999999999999999" (out_of_range); parse and range-check instead.
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(argv[1], &end, 10);
+  if (end == argv[1] || *end != '\0' || parsed < 1 || parsed > 6) {
+    fprintf(stderr, "invalid variable count \"%s\": need an integer in 1..6\n",
+            argv[1]);
+    return usage();
   }
-  const auto num_vars = static_cast<uint32_t>(std::stoul(argv[1]));
-  if (num_vars > 6) {
-    fprintf(stderr, "at most 6 variables supported\n");
-    return 2;
+  const auto num_vars = static_cast<uint32_t>(parsed);
+
+  tt::TruthTable f(num_vars);
+  try {
+    f = tt::TruthTable::from_hex(num_vars, argv[2]);
+  } catch (const std::exception& e) {
+    fprintf(stderr, "invalid truth table \"%s\": %s\n", argv[2], e.what());
+    return usage();
   }
-  const auto f = tt::TruthTable::from_hex(num_vars, argv[2]);
   printf("function: 0x%s over %u variables\n\n", f.to_hex().c_str(), num_vars);
 
   exact::SynthesisOptions options;

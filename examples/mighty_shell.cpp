@@ -84,6 +84,11 @@ void Shell::command(const std::string& line) {
         "                        .blif in <dir>, or the built-in generator\n"
         "                        corpus) with the oracle shared corpus-wide;\n"
         "                        networks run concurrently at `threads` > 1\n"
+        "  autotune <size|depth|product> [dir|gen]\n"
+        "                        search the flow-script grammar for the best\n"
+        "                        flow under an objective (corpus as in batch;\n"
+        "                        default gen); prints the Pareto front and the\n"
+        "                        winning script — rerun it with `flow <script>`\n"
         "  threads [n]           set/show session parallelism (deterministic)\n"
         "  cache load <path>     merge a persistent 5-input oracle cache\n"
         "  cache save [path]     persist the oracle cache (also on exit)\n"
@@ -214,6 +219,33 @@ void Shell::command(const std::string& line) {
     }
     return;
   }
+  if (cmd == "autotune") {
+    // Like `batch`, autotune brings its own corpus; no `current` needed.
+    std::string objective, source;
+    is >> objective >> source;
+    if (objective.empty()) {
+      printf("usage: autotune <size|depth|product> [dir|gen]\n");
+      return;
+    }
+    if (source.empty()) source = "gen";
+    flow::TuneParams params;
+    params.objective = flow::parse_objective(objective);
+    params.population = 8;
+    params.generations = 1;
+    const auto corpus = source == "gen" ? flow::Corpus::generated_arithmetic()
+                                        : flow::Corpus::from_directory(source);
+    if (corpus.empty()) {
+      printf("corpus '%s' contains no networks\n", source.c_str());
+      return;
+    }
+    printf("tuning %s over %zu network%s (population %u, this takes a while)...\n",
+           flow::objective_name(params.objective), corpus.size(),
+           corpus.size() == 1 ? "" : "s", params.population);
+    flow::TuneReport report;
+    flow::Autotuner(session, params).tune(corpus, &report);
+    fputs(report.summary().c_str(), stdout);
+    return;
+  }
   if (cmd == "read_blif") {
     std::string path;
     is >> path;
@@ -327,14 +359,24 @@ int main() {
           swallows_line = true;
         }
       }
+      // No command may take the REPL down with it: a bad script, an
+      // unreadable corpus/cache path or an out-of-range argument prints its
+      // message and leaves the session — and its warm oracle — alive.
+      const auto dispatch = [&shell](const std::string& text) {
+        try {
+          shell.command(text);
+        } catch (const std::exception& e) {
+          printf("error: %s\n", e.what());
+        }
+      };
       if (swallows_line) {
-        shell.command(line.substr(word));
+        dispatch(line.substr(word));
         break;
       }
       const size_t semi = line.find(';', start);
       const std::string part = line.substr(start, semi - start);
       if (part == "quit" || part == "exit") return 0;
-      shell.command(part);
+      dispatch(part);
       if (semi == std::string::npos) break;
       start = semi + 1;
     }

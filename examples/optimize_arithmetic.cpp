@@ -7,6 +7,7 @@
 //   $ ./build/examples/optimize_arithmetic 24       # 24x24
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "cec/cec.hpp"
@@ -15,8 +16,27 @@
 
 using namespace mighty;
 
+namespace {
+
+/// Parses the width argument; `std::stoul` alone would abort the example
+/// with an unhandled exception on "abc" or "999999999999".
+bool parse_width(const char* text, uint32_t& bits) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || value < 2 || value > 64) return false;
+  bits = static_cast<uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const uint32_t bits = argc > 1 ? static_cast<uint32_t>(std::stoul(argv[1])) : 16;
+  uint32_t bits = 16;
+  if (argc > 1 && !parse_width(argv[1], bits)) {
+    fprintf(stderr, "usage: %s [bits]   (multiplier width, 2..64; default 16)\n",
+            argv[0]);
+    return 1;
+  }
   printf("generating %ux%u multiplier...\n", bits, bits);
   const auto original = gen::make_multiplier_n(bits);
   printf("  raw        : %6u gates, depth %3u\n", original.count_live_gates(),

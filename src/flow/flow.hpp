@@ -19,10 +19,18 @@
 ///   flow::BatchReport batch;
 ///   auto optimized = flow::BatchRunner(session).run(corpus, pipeline, &batch);
 ///
+/// Searching the script grammar itself for the best flow under an objective:
+///
+///   flow::Autotuner tuner(session, {.objective = flow::Objective::size});
+///   flow::TuneReport tuned;
+///   auto best = tuner.tune(corpus, &tuned);   // best().script reproduces it
+///
 /// See session.hpp (shared state), pass.hpp (the pass vocabulary),
-/// pipeline.hpp (composition, combinators and the script grammar), and
-/// corpus.hpp / batch.hpp (corpus-level batch execution).
+/// pipeline.hpp (composition, combinators and the script grammar),
+/// corpus.hpp / batch.hpp (corpus-level batch execution), and autotune.hpp
+/// (flow search over the script grammar).
 
+#include "flow/autotune.hpp"  // IWYU pragma: export
 #include "flow/batch.hpp"     // IWYU pragma: export
 #include "flow/corpus.hpp"    // IWYU pragma: export
 #include "flow/pass.hpp"      // IWYU pragma: export

@@ -35,11 +35,16 @@ public:
   }
 
 private:
-  [[noreturn]] void fail(const std::string& what) const {
+  /// Reports `what` anchored at `pos` — always a token's *start*, so the
+  /// column survives leading whitespace and multi-character tokens (a count
+  /// error must not point past the digits it rejects).
+  [[noreturn]] void fail_at(size_t pos, const std::string& what) const {
     throw std::invalid_argument("flow script error at position " +
-                                std::to_string(pos_) + ": " + what + " in \"" +
+                                std::to_string(pos) + ": " + what + " in \"" +
                                 script_ + '"');
   }
+
+  [[noreturn]] void fail(const std::string& what) const { fail_at(pos_, what); }
 
   void skip_space() {
     while (pos_ < script_.size() &&
@@ -81,16 +86,15 @@ private:
     Pipeline base = atom();
     if (!consume('*')) return base;
     if (consume('<')) {  // "x*<N": until convergence, at most N rounds
-      skip_space();
       const uint32_t rounds = integer();
-      if (rounds == 0) fail("round cap must be at least 1");
+      if (rounds == 0) fail_at(int_start_, "round cap must be at least 1");
       return base.until_convergence(rounds);
     }
     skip_space();
     if (pos_ < script_.size() &&
         std::isdigit(static_cast<unsigned char>(script_[pos_]))) {
       const uint32_t count = integer();
-      if (count == 0) fail("repeat count must be at least 1");
+      if (count == 0) fail_at(int_start_, "repeat count must be at least 1");
       return base.repeat(count);
     }
     return base.until_convergence();
@@ -135,8 +139,8 @@ private:
       }
       const uint32_t threads = integer();
       if (threads == 0 || threads > util::ThreadPool::kMaxParallelism) {
-        fail("thread count out of range in 'parallel:" + std::to_string(threads) +
-             "'");
+        fail_at(int_start_, "thread count out of range in 'parallel:" +
+                                std::to_string(threads) + "'");
       }
       return result.add(make_parallel_pass(threads)), result;
     }
@@ -163,8 +167,8 @@ private:
           std::isdigit(static_cast<unsigned char>(script_[pos_]))) {
         params.lut_size = integer();
         if (params.lut_size < 2 || params.lut_size > 16) {
-          fail("LUT size out of range in 'map" +
-               std::to_string(params.lut_size) + "'");
+          fail_at(int_start_, "LUT size out of range in 'map" +
+                                  std::to_string(params.lut_size) + "'");
         }
       }
       return result.lut_map(params), result;
@@ -178,28 +182,42 @@ private:
     try {
       result.rewrite(text);
     } catch (const std::invalid_argument&) {
-      pos_ = start;
-      fail("unknown pass \"" + text + '"');
+      fail_at(start, "unknown pass \"" + text + '"');
     }
     return result;
   }
 
+  /// Largest count any production accepts; far below UINT32_MAX, so inputs
+  /// like "TF*4294967296" are rejected as too large instead of wrapping to a
+  /// silently different pipeline.
+  static constexpr uint64_t kMaxCount = 1'000'000;
+
   uint32_t integer() {
+    skip_space();
+    const size_t start = pos_;
     uint64_t value = 0;
-    size_t digits = 0;
     while (pos_ < script_.size() &&
            std::isdigit(static_cast<unsigned char>(script_[pos_]))) {
-      value = value * 10 + static_cast<uint64_t>(script_[pos_] - '0');
-      if (value > 1'000'000) fail("count too large");
+      // Saturate instead of accumulating: a thousand-digit count must neither
+      // overflow the accumulator nor change the error reported.
+      if (value <= kMaxCount) {
+        value = value * 10 + static_cast<uint64_t>(script_[pos_] - '0');
+      }
       ++pos_;
-      ++digits;
     }
-    if (digits == 0) fail("expected a number");
+    if (pos_ == start) fail("expected a number");
+    if (value > kMaxCount) {
+      fail_at(start, "count too large (at most " + std::to_string(kMaxCount) + ")");
+    }
+    int_start_ = start;
     return static_cast<uint32_t>(value);
   }
 
   const std::string& script_;
   size_t pos_ = 0;
+  /// Start position of the count integer() consumed last; range checks in the
+  /// callers anchor their error there, at the token, not after it.
+  size_t int_start_ = 0;
 };
 
 }  // namespace

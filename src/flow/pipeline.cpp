@@ -233,7 +233,7 @@ bool Pipeline::mutates_session() const {
   return false;
 }
 
-std::string Pipeline::to_string() const {
+std::string Pipeline::to_script() const {
   std::string result;
   for (const auto& pass : passes_) {
     if (!result.empty()) result += ";";

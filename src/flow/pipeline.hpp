@@ -126,8 +126,13 @@ public:
   /// True when any pass (at any nesting depth) reconfigures the session.
   bool mutates_session() const;
 
-  /// Script form; re-parses to an equivalent pipeline.
-  std::string to_string() const;
+  /// Canonical script form; parse(p.to_script()) is structurally identical
+  /// to p (the round trip is what deduplication, reporting and reproducing a
+  /// tuned flow rely on — see autotune.hpp).
+  std::string to_script() const;
+  /// Alias of to_script(), kept for symmetry with the standard conversion
+  /// idiom.
+  std::string to_string() const { return to_script(); }
 
 private:
   std::vector<std::unique_ptr<Pass>> passes_;

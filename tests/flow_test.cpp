@@ -101,6 +101,90 @@ TEST(FlowParseTest, ErrorsNameTheOffendingToken) {
   }
 }
 
+// --- parser negative paths (overflow, error positions) ------------------------
+
+/// The "position N" a parse error reports, or SIZE_MAX when none/unparseable.
+size_t error_position(const std::string& script) {
+  try {
+    Pipeline::parse(script);
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    const auto at = what.find("position ");
+    if (at == std::string::npos) return SIZE_MAX;
+    return static_cast<size_t>(std::stoul(what.substr(at + 9)));
+  }
+  return SIZE_MAX;
+}
+
+TEST(FlowParseTest, RejectsCountsThatOverflowUint32) {
+  // 2^32 exactly: silently wrapping to 0 would turn "repeat 4294967296
+  // times" into a parse of "TF*0" — it must be rejected as too large.
+  EXPECT_THROW(Pipeline::parse("TF*4294967296"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("TF*<4294967296"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("TF*18446744073709551616"), std::invalid_argument);
+  // A thousand digits must neither overflow the accumulator nor crash.
+  EXPECT_THROW(Pipeline::parse("TF*1" + std::string(1000, '0')),
+               std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("parallel:4294967296"), std::invalid_argument);
+  EXPECT_THROW(Pipeline::parse("map4294967296"), std::invalid_argument);
+  try {
+    Pipeline::parse("TF*4294967296");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("too large"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FlowParseTest, ErrorPositionsPointAtTheTokenStart) {
+  // Unknown pass: at the word's first character, also behind padding.
+  EXPECT_EQ(error_position("frob"), 0u);
+  EXPECT_EQ(error_position("   frob"), 3u);
+  EXPECT_EQ(error_position("TF;  frob;BF"), 5u);
+  // Count errors: at the count's first digit, never past the digits.
+  EXPECT_EQ(error_position("TF*0"), 3u);
+  EXPECT_EQ(error_position("  TF*0"), 5u);
+  EXPECT_EQ(error_position("TF*< 0"), 5u);
+  EXPECT_EQ(error_position("TF*4294967296"), 3u);
+  EXPECT_EQ(error_position("  TF * 4294967296 ; BF"), 7u);
+  EXPECT_EQ(error_position("map99"), 3u);
+  EXPECT_EQ(error_position("parallel:0"), 9u);
+  // Structural errors: at the offending character.
+  EXPECT_EQ(error_position("TF)"), 2u);
+  EXPECT_EQ(error_position("TF  )"), 4u);
+  EXPECT_EQ(error_position("TF BF"), 3u);
+}
+
+TEST(FlowParseTest, ToScriptRoundTripsEveryProduction) {
+  // parse(p.to_script()) must be structurally identical to p for every
+  // grammar production — canonical scripts are the autotuner's dedup key and
+  // the reproducibility contract of every report.
+  for (const auto* script : {
+           "TF", "T", "TD", "TFD", "B", "BD", "BF", "BFD",  // variants
+           "TF5", "BFD5",                                   // 5-cut extensions
+           "size", "depth",                                 // algebraic
+           "map", "map4", "map16",                          // mapping
+           "parallel:1", "parallel:8",                      // session directives
+           "cache:/tmp/c5.db", "cache:rel/Mixed.Case",      //
+           "TF*3", "TF*", "TF*<2",                          // modifiers
+           "(TF;size)*", "(BFD;size)*2", "(BF;size)*<4",    // groups
+           "((T;B)*2;size)*3", "(TF;(BFD;size)*<3)*",       // nesting
+           "parallel:2;cache:/tmp/x;TF5;(BFD;size)*<3;map8;depth*2",
+       }) {
+    const Pipeline first = Pipeline::parse(script);
+    const std::string canonical = first.to_script();
+    const Pipeline second = Pipeline::parse(canonical);
+    EXPECT_EQ(second.to_script(), canonical) << script;
+    ASSERT_EQ(second.num_passes(), first.num_passes()) << script;
+    for (size_t i = 0; i < first.num_passes(); ++i) {
+      EXPECT_EQ(second.pass(i).name(), first.pass(i).name()) << script;
+    }
+  }
+  // to_string stays an alias of to_script.
+  EXPECT_EQ(Pipeline::parse("(TF;size)*;map").to_string(),
+            Pipeline::parse("(TF;size)*;map").to_script());
+}
+
 // --- variant_params satellite (case handling, error message) -----------------
 
 TEST(FlowParseTest, VariantParamsAcceptsLowerAndMixedCase) {

@@ -45,16 +45,34 @@ def load(path):
 def index_benchmarks(doc, path):
     if "benchmarks" not in doc:
         sys.exit(f"error: {path} has no 'benchmarks' array")
-    return {bench["name"]: bench for bench in doc["benchmarks"]}
+    indexed = {}
+    for position, bench in enumerate(doc["benchmarks"]):
+        if not isinstance(bench, dict) or "name" not in bench:
+            sys.exit(f"error: {path}: benchmarks[{position}] has no 'name' "
+                     f"(malformed entry: {bench!r:.80})")
+        indexed[bench["name"]] = bench
+    return indexed
 
 
 def compare_metrics(context, baseline, current, tolerance, report):
-    """Compares one metric group; returns metric names regressed."""
+    """Compares one metric group; records regressions in `report`."""
     for metric, base_value in baseline.items():
         if metric not in current:
-            report["failures"].append(f"{context}: metric '{metric}' disappeared")
+            # A baseline metric the bench JSON no longer emits is silent
+            # coverage loss, exactly like a missing benchmark: hard failure,
+            # with a message naming both sides.
+            report["failures"].append(
+                f"{context}: baseline names metric '{metric}' but the bench "
+                f"result no longer emits it (refresh the baseline if this "
+                f"was removed deliberately)")
             continue
         value = current[metric]
+        if not isinstance(base_value, (int, float)) or isinstance(base_value, bool) \
+                or not isinstance(value, (int, float)) or isinstance(value, bool):
+            report["failures"].append(
+                f"{context}: metric '{metric}' is not numeric "
+                f"(baseline {base_value!r}, result {value!r})")
+            continue
         if metric in WALL_METRICS:
             if base_value > 0 and value > base_value * tolerance:
                 report["warnings"].append(
