@@ -83,6 +83,13 @@ inline bool write_bench_json(const std::string& path, const std::string& bench,
   if (os == nullptr) return false;
   std::fprintf(os, "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n  \"threads\": %d,\n",
                bench.c_str(), mode.c_str(), threads);
+  // The build stamps in the sanitizer (CMake's MIGHTY_SANITIZER_NAME, empty
+  // for plain builds): check_bench.py downgrades wall-clock gates to
+  // warnings for instrumented runs, whose timings mean nothing.
+#if !defined(MIGHTY_SANITIZER_NAME)
+#define MIGHTY_SANITIZER_NAME ""
+#endif
+  std::fprintf(os, "  \"sanitizer\": \"%s\",\n", MIGHTY_SANITIZER_NAME);
   std::fprintf(os, "  \"benchmarks\": [\n");
   for (size_t r = 0; r < records.size(); ++r) {
     const auto& rec = records[r];

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cec/cec.hpp"
+#include "check/check.hpp"
 #include "flow/flow.hpp"
 #include "gen/arith.hpp"
 #include "io/io.hpp"
@@ -74,6 +75,8 @@ void Shell::command(const std::string& line) {
         "  read_blif <path> | write_blif <path> | write_verilog <path> | "
         "write_dot <path>\n"
         "  ps                    network statistics\n"
+        "  check                 validate structural invariants of the network\n"
+        "                        (also a flow-script word: `flow TF; check`)\n"
         "  depth_opt | size_opt  algebraic optimization (refs. [3], [4])\n"
         "  fh [variant]          functional hashing (default BF; T/TD/TF/TFD/B/...)\n"
         "  flow <script>         run a flow script, e.g.  TF;(BFD;size)*;map\n"
@@ -262,6 +265,9 @@ void Shell::command(const std::string& line) {
 
   if (cmd == "ps") {
     print_stats("network");
+  } else if (cmd == "check") {
+    const auto report = check::validate_at(*current, /*full=*/true);
+    fputs(report.summary().c_str(), stdout);
   } else if (cmd == "depth_opt") {
     run_pipeline(flow::Pipeline().depth_opt());
   } else if (cmd == "size_opt") {

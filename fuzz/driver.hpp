@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+
+/// \file driver.hpp
+/// \brief Dual-mode entry point for the fuzz harnesses.
+///
+/// Every harness defines LLVMFuzzerTestOneInput and nothing else.  Under
+/// Clang with -fsanitize=fuzzer the symbol is picked up by libFuzzer for
+/// coverage-guided exploration (the CI fuzz-smoke leg).  Under any other
+/// toolchain the build defines MIGHTY_FUZZ_STANDALONE, and this header
+/// provides a main() that replays corpus files or directories passed as
+/// arguments through the same entry point — so the checked-in seed corpora
+/// run as plain ctest cases on every build, compiler support or not.
+///
+/// A violated differential property aborts via FUZZ_REQUIRE: both libFuzzer
+/// and ctest treat the abort as a crash, and the message names the property.
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#define FUZZ_REQUIRE(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "fuzz property failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                 \
+      __builtin_trap();                                                 \
+    }                                                                   \
+  } while (0)
+
+#if defined(MIGHTY_FUZZ_STANDALONE)
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  size_t replayed = 0;
+  auto run_file = [&](const fs::path& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "cannot open %s\n", path.string().c_str());
+      std::exit(1);
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++replayed;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const fs::path path(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      // Sorted for a deterministic replay order (directory_iterator's is not).
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) run_file(file);
+    } else {
+      run_file(path);
+    }
+  }
+  std::printf("replayed %zu input%s\n", replayed, replayed == 1 ? "" : "s");
+  return 0;
+}
+
+#endif  // MIGHTY_FUZZ_STANDALONE

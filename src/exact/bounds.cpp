@@ -1,12 +1,12 @@
 #include "exact/bounds.hpp"
 
-#include <cassert>
+#include "util/assert.hpp"
 
 namespace mighty::exact {
 
 mig::Signal build_shannon(const Database& db, const tt::TruthTable& f, mig::Mig& mig,
                           const std::vector<mig::Signal>& leaves) {
-  assert(leaves.size() >= f.num_vars());
+  MIGHTY_ASSERT(leaves.size() >= f.num_vars());
   if (f.num_vars() <= 4) {
     return db.instantiate(f, mig, leaves);
   }

@@ -1,7 +1,7 @@
 #include "exact/chain.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "util/assert.hpp"
 #include <sstream>
 #include <stdexcept>
 
@@ -19,7 +19,7 @@ tt::TruthTable MigChain::simulate() const {
   };
   for (const Step& s : steps) {
     for (const RefLit l : s.fanin) {
-      assert(ref_of(l) < values.size());
+      MIGHTY_ASSERT(ref_of(l) < values.size());
     }
     values.push_back(
         tt::TruthTable::maj(value_of(s.fanin[0]), value_of(s.fanin[1]), value_of(s.fanin[2])));
@@ -43,7 +43,7 @@ uint32_t MigChain::depth() const { return step_levels()[ref_of(output)]; }
 
 mig::Signal MigChain::instantiate(mig::Mig& mig,
                                   const std::vector<mig::Signal>& inputs) const {
-  assert(inputs.size() >= num_vars);
+  MIGHTY_ASSERT(inputs.size() >= num_vars);
   std::vector<mig::Signal> values;
   values.reserve(1 + num_vars + steps.size());
   values.push_back(mig.get_constant(false));

@@ -52,6 +52,10 @@ void Database::save(const std::string& path) const {
 std::optional<Database> Database::load(const std::string& path) {
   std::ifstream is(path);
   if (!is) return std::nullopt;
+  return load(is);
+}
+
+std::optional<Database> Database::load(std::istream& is) {
   std::string header;
   std::getline(is, header);
   std::istringstream hs(header);
@@ -69,10 +73,10 @@ std::optional<Database> Database::load(const std::string& path) {
     std::string hex;
     DatabaseEntry entry;
     if (!(ls >> hex >> entry.conflicts >> entry.build_seconds)) return std::nullopt;
-    entry.representative = tt::TruthTable::from_hex(4, hex);
     std::string rest;
     std::getline(ls, rest);
     try {
+      entry.representative = tt::TruthTable::from_hex(4, hex);
       entry.chain = MigChain::from_string(rest);
     } catch (const std::exception&) {
       return std::nullopt;

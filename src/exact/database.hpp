@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -65,6 +66,9 @@ public:
   /// Loads from the text file written by save(); returns std::nullopt if the
   /// file does not exist or is malformed.
   static std::optional<Database> load(const std::string& path);
+  /// Same validation over an already-open stream (in-memory buffers, fuzz
+  /// harnesses, sockets); a stream is never "missing", only malformed.
+  static std::optional<Database> load(std::istream& is);
 
   /// Loads `path` if present, otherwise builds and saves to `path`.
   static Database load_or_build(const std::string& path,

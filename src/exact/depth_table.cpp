@@ -1,6 +1,6 @@
 #include "exact/depth_table.hpp"
 
-#include <cassert>
+#include "util/assert.hpp"
 #include <stdexcept>
 
 namespace mighty::exact {
@@ -60,7 +60,7 @@ public:
   }
 
   bool nonempty(uint16_t must_one, uint16_t must_zero) const {
-    assert((must_one & must_zero) == 0);
+    MIGHTY_ASSERT((must_one & must_zero) == 0);
     uint32_t index = 0;
     for (int i = 0; i < 16; ++i) {
       const uint32_t digit = (must_one >> i) & 1 ? 1u : ((must_zero >> i) & 1 ? 0u : 2u);
@@ -145,14 +145,14 @@ DepthTable::DepthTable() {
           // Extract a concrete c for the witness decomposition.
           for (const uint16_t c : closure) {
             if ((c & must1) == must1 && (c & must0) == 0) {
-              assert(maj_bits(a, b, c) == f);
+              MIGHTY_ASSERT(maj_bits(a, b, c) == f);
               depth_[f] = d;
               decomposition_[f] = {a, b, c};
               resolved = true;
               break;
             }
           }
-          assert(resolved);
+          MIGHTY_ASSERT(resolved);
           break;
         }
         if (resolved) break;
@@ -205,7 +205,7 @@ MigChain DepthTable::witness(const tt::TruthTable& f) const {
   MigChain chain;
   chain.num_vars = 4;
   chain.output = build_witness(static_cast<uint16_t>(f4.bits()), chain);
-  assert(chain.simulate() == f4);
+  MIGHTY_ASSERT(chain.simulate() == f4);
   return chain;
 }
 

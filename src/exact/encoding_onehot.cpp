@@ -1,6 +1,6 @@
 #include "exact/encoding_onehot.hpp"
 
-#include <cassert>
+#include "util/assert.hpp"
 
 namespace mighty::exact {
 
@@ -16,7 +16,7 @@ OnehotEncoder::OnehotEncoder(sat::Solver& solver, const tt::TruthTable& f,
       n_(f.num_vars()),
       rows_(1u << f.num_vars()),
       options_(options) {
-  assert(k_ >= 1);
+  MIGHTY_ASSERT(k_ >= 1);
 }
 
 void OnehotEncoder::encode() {
@@ -202,7 +202,7 @@ MigChain OnehotEncoder::extract() const {
           break;
         }
       }
-      assert(selected < domain_size(l));
+      MIGHTY_ASSERT(selected < domain_size(l));
       step.fanin[c] = make_ref_lit(selected, solver_.model_value(p_[l][c]));
     }
     chain.steps.push_back(step);

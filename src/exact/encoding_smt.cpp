@@ -1,6 +1,6 @@
 #include "exact/encoding_smt.hpp"
 
-#include <cassert>
+#include "util/assert.hpp"
 
 namespace mighty::exact {
 
@@ -25,7 +25,7 @@ SmtEncoder::SmtEncoder(sat::Solver& solver, const tt::TruthTable& f, uint32_t nu
       n_(f.num_vars()),
       rows_(1u << f.num_vars()),
       options_(options) {
-  assert(k_ >= 1);
+  MIGHTY_ASSERT(k_ >= 1);
 }
 
 void SmtEncoder::encode() {
@@ -108,7 +108,7 @@ MigChain SmtEncoder::extract() const {
     MigChain::Step step;
     for (uint32_t c = 0; c < 3; ++c) {
       const auto selected = static_cast<uint32_t>(ctx_.model_value(s_[l][c]));
-      assert(selected < domain_size(l));
+      MIGHTY_ASSERT(selected < domain_size(l));
       step.fanin[c] =
           make_ref_lit(selected, ctx_.solver().model_value_lit(p_[l][c]));
     }

@@ -11,7 +11,7 @@
 ///   item     := atom ['*' count | '*' '<' count | '*']
 ///   atom     := '(' sequence ')' | word
 ///   word     := variant acronym | size | depth | map[k] | parallel[:]n
-///             | cache:path
+///             | cache:path | check
 ///
 /// Case-insensitive; whitespace between tokens is insignificant (a token
 /// itself cannot be split: "ma p" is not "map"); empty items ("TF;;BF",
@@ -129,6 +129,7 @@ private:
     Pipeline result;
     if (text == "size") return result.size_opt(), result;
     if (text == "depth") return result.depth_opt(), result;
+    if (text == "check") return result.check(), result;
     if (text == "parallel") {
       // "parallel:n" (the canonical form emitted by to_string) or "paralleln".
       consume(':');

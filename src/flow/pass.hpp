@@ -146,4 +146,10 @@ std::unique_ptr<Pass> make_parallel_pass(uint32_t threads);
 /// adds no trajectory entry.
 std::unique_ptr<Pass> make_cache_pass(std::string path);
 
+/// The "check" script word: full invariant validation of the current network
+/// (check::validate_at at full level), throwing std::logic_error with the
+/// diagnostic summary on the first violation.  The network passes through
+/// untouched; the trajectory records the validation time.
+std::unique_ptr<Pass> make_check_pass();
+
 }  // namespace mighty::flow

@@ -2,7 +2,9 @@
 #include <cctype>
 #include <chrono>
 #include <optional>
+#include <stdexcept>
 
+#include "check/check.hpp"
 #include "flow/pass.hpp"
 #include "flow/session.hpp"
 
@@ -228,6 +230,34 @@ private:
   std::string path_;
 };
 
+/// Explicit validation point: the "check" script word runs the full
+/// invariant suite on the current network no matter what the session's
+/// between-pass level is, so scripts can assert well-formedness exactly
+/// where it matters (after an untrusted reader, before an expensive flow).
+class CheckPass final : public Pass {
+public:
+  std::string name() const override { return "check"; }
+
+  mig::Mig run(const mig::Mig& mig, Session&, FlowReport& report) const override {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = check::validate_at(mig, /*full=*/true);
+    PassStats entry;
+    entry.name = name();
+    entry.size_before = entry.size_after = mig.count_live_gates();
+    entry.depth_before = entry.depth_after = mig.depth();
+    entry.seconds = seconds_since(start);
+    report.passes.push_back(std::move(entry));
+    if (!result.ok()) {
+      throw std::logic_error("check failed:\n" + result.summary());
+    }
+    return mig;
+  }
+
+  std::unique_ptr<Pass> clone() const override {
+    return std::make_unique<CheckPass>();
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Pass> make_rewrite_pass(const std::string& variant) {
@@ -270,6 +300,10 @@ std::unique_ptr<Pass> make_parallel_pass(uint32_t threads) {
 
 std::unique_ptr<Pass> make_cache_pass(std::string path) {
   return std::make_unique<CachePass>(std::move(path));
+}
+
+std::unique_ptr<Pass> make_check_pass() {
+  return std::make_unique<CheckPass>();
 }
 
 }  // namespace mighty::flow

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 
+#include "check/check.hpp"
 #include "flow/session.hpp"
 
 namespace mighty::flow {
@@ -160,6 +162,10 @@ Pipeline& Pipeline::cache(std::string path) {
   return add(make_cache_pass(std::move(path)));
 }
 
+Pipeline& Pipeline::check() {
+  return add(make_check_pass());
+}
+
 Pipeline Pipeline::repeat(uint32_t times) const {
   Pipeline result;
   result.add(std::make_unique<RepeatPass>(*this, times));
@@ -215,6 +221,19 @@ mig::Mig Pipeline::run_into(const mig::Mig& mig, Session& session,
   mig::Mig current = mig;
   for (const auto& pass : passes_) {
     current = pass->run(current, session, report);
+    // Between-pass invariant checking: composite passes recurse through
+    // run_into, so every intermediate network of every nesting level is
+    // covered.  A violation here is a bug in the pass that just ran — stop
+    // at the first one, before later passes smear the evidence.
+    const CheckLevel level = session.check_level();
+    if (level != CheckLevel::off) {
+      const auto checked =
+          check::validate_at(current, level == CheckLevel::full);
+      if (!checked.ok()) {
+        throw std::logic_error("invariant check failed after pass '" +
+                               pass->name() + "':\n" + checked.summary());
+      }
+    }
   }
   return current;
 }

@@ -40,6 +40,7 @@
 ///             | map[k]                      -- k-LUT mapping, default k=6
 ///             | parallel:n                  -- run later passes on n threads
 ///             | cache:path                  -- persistent 5-input oracle cache
+///             | check                       -- full invariant validation
 
 namespace mighty::flow {
 
@@ -76,6 +77,10 @@ public:
   /// Appends a "cache:<path>" directive: attaches the session's persistent
   /// 5-input oracle cache before later passes run.
   Pipeline& cache(std::string path);
+  /// Appends a "check" pass: full invariant validation of the current
+  /// network (check::validate_at full level, regardless of the session's
+  /// check level), throwing std::logic_error on the first violation.
+  Pipeline& check();
 
   // --- combinators (value semantics; *this is not modified) ------------------
 

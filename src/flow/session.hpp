@@ -27,6 +27,13 @@
 
 namespace mighty::flow {
 
+/// How much invariant checking Pipeline::run_into performs between passes
+/// (see check/check.hpp).  `fast` runs the O(nodes) structural validation of
+/// every intermediate network; `full` additionally re-derives levels/fanouts/
+/// live counts and validates a fresh FFR partition, shard plan and wave
+/// order.  A failed check throws std::logic_error naming the offending pass.
+enum class CheckLevel { off, fast, full };
+
 struct SessionParams {
   /// On-disk NPN-4 database location; empty selects
   /// exact::default_database_path() (which honors $MIGHTY_DB_PATH).
@@ -126,6 +133,14 @@ public:
   /// The session's parallel execution engine, created on first use.
   Executor& executor();
 
+  // --- between-pass invariant checking ----------------------------------------
+
+  /// Selects the between-pass check level.  Defaults to `fast` in builds
+  /// without NDEBUG (every Debug test run doubles as an invariant test) and
+  /// `off` otherwise, so Release benches measure the passes, not the checks.
+  void set_check_level(CheckLevel level) { check_level_ = level; }
+  CheckLevel check_level() const { return check_level_; }
+
   /// Pool for shard-parallel passes: nullptr at parallelism 1, so passes
   /// take the inline path without materializing an executor.
   util::ThreadPool* worker_pool() {
@@ -138,6 +153,11 @@ private:
   opt::ReplacementOracle::CacheLoadResult merge_cache_file();
 
   SessionParams params_;
+#ifndef NDEBUG
+  CheckLevel check_level_ = CheckLevel::fast;
+#else
+  CheckLevel check_level_ = CheckLevel::off;
+#endif
   std::optional<exact::Database> database_;
   std::optional<opt::ReplacementOracle> oracle_;
   std::unique_ptr<Executor> executor_;

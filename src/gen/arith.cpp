@@ -1,6 +1,6 @@
 #include "gen/arith.hpp"
 
-#include <cassert>
+#include "util/assert.hpp"
 
 namespace mighty::gen {
 
@@ -35,7 +35,7 @@ Word ripple_add(Mig& m, const Word& a, const Word& b, Signal carry_in) {
 }
 
 Word kogge_stone_add(Mig& m, const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  MIGHTY_ASSERT(a.size() == b.size());
   const size_t n = a.size();
   // Generate/propagate pairs; prefix-combine with doubling strides.
   std::vector<Signal> g(n), p(n);
@@ -85,7 +85,7 @@ Signal less_than(Mig& m, const Word& a, const Word& b) {
 }
 
 Word mux_word(Mig& m, Signal sel, const Word& t, const Word& e) {
-  assert(t.size() == e.size());
+  MIGHTY_ASSERT(t.size() == e.size());
   Word r;
   r.reserve(t.size());
   for (size_t i = 0; i < t.size(); ++i) r.push_back(m.create_ite(sel, t[i], e[i]));

@@ -1,6 +1,6 @@
 #include <fstream>
-#include <functional>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,9 +12,12 @@ namespace mighty::io {
 namespace {
 
 std::string node_name(const mig::Mig& mig, uint32_t index) {
+  // Prefix via insert on an lvalue, not operator+(const char*, string&&):
+  // the rvalue overload trips a GCC 12 -Wrestrict false positive here.
   if (mig.is_constant(index)) return "const0";
-  if (mig.is_pi(index)) return "x" + std::to_string(mig.pi_index(index));
-  return "n" + std::to_string(index);
+  std::string name = std::to_string(mig.is_pi(index) ? mig.pi_index(index) : index);
+  name.insert(0, 1, mig.is_pi(index) ? 'x' : 'n');
+  return name;
 }
 
 /// Builds an arbitrary function of up to 6 leaves by Shannon decomposition.
@@ -193,24 +196,10 @@ mig::Mig read_blif(std::istream& is) {
   std::map<std::string, const Table*> by_output;
   for (const auto& t : tables) by_output[t.output] = &t;
 
-  // Resolve signals recursively (BLIF does not promise topological order).
-  // `referenced_at` is the line mentioning the name, so "signal without
-  // driver" points at the use, not somewhere downstream.
-  std::function<mig::Signal(const std::string&, size_t)> resolve =
-      [&](const std::string& name, size_t referenced_at) -> mig::Signal {
-    if (const auto it = signals.find(name); it != signals.end()) return it->second;
-    const auto t_it = by_output.find(name);
-    if (t_it == by_output.end()) {
-      throw error_at(referenced_at, "signal without driver: " + name);
-    }
-    const Table& t = *t_it->second;
-    if (t.inputs.size() > 4) {
-      throw error_at(t.line, "table with more than 4 inputs: " + name);
-    }
-    std::vector<mig::Signal> leaves;
-    for (const auto& in : t.inputs) leaves.push_back(resolve(in, t.line));
-
-    // Build the truth table from the cover.
+  // Builds one table's function over already-resolved leaves.
+  auto build_table = [&](const Table& t,
+                         const std::vector<mig::Signal>& leaves) -> mig::Signal {
+    const std::string& name = t.output;
     const auto k = static_cast<uint32_t>(t.inputs.size());
     tt::TruthTable on_set(k);
     bool output_one = true;
@@ -235,7 +224,6 @@ mig::Mig read_blif(std::istream& is) {
       output_one = value == "1";
       // Expand don't-cares.
       std::vector<uint32_t> minterms{0};
-      std::vector<uint32_t> care;
       for (uint32_t i = 0; i < k; ++i) {
         std::vector<uint32_t> next;
         for (const uint32_t base : minterms) {
@@ -249,17 +237,68 @@ mig::Mig read_blif(std::istream& is) {
           }
         }
         minterms = std::move(next);
-        (void)care;
       }
       for (const uint32_t mt : minterms) on_set.set_bit(mt, true);
     }
     tt::TruthTable f = on_set;
     if (!t.rows.empty() && !output_one) f = ~f;
     if (t.rows.empty()) f = tt::TruthTable::constant(k, false);
+    return build_function(m, f, leaves);
+  };
 
-    const mig::Signal s = build_function(m, f, leaves);
-    signals[name] = s;
-    return s;
+  // Resolve signals with an explicit stack (BLIF does not promise
+  // topological order, and call-stack recursion would overflow on deeply
+  // chained tables — adversarial inputs nest thousands).  `referenced_at`
+  // is the line mentioning the name, so "signal without driver" points at
+  // the use, not somewhere downstream.  A name reached again while its own
+  // table is still being resolved is a combinational cycle, which recursion
+  // would chase forever.
+  struct Frame {
+    std::string name;
+    const Table* table;
+    std::vector<mig::Signal> leaves;  ///< resolved inputs so far
+  };
+  std::set<std::string> in_progress;
+  std::vector<Frame> stack;
+
+  // Returns the signal when `name` is already resolved, otherwise pushes a
+  // frame for its driving table and returns nullptr.
+  auto lookup_or_push = [&](const std::string& name,
+                            size_t referenced_at) -> const mig::Signal* {
+    if (const auto it = signals.find(name); it != signals.end()) return &it->second;
+    const auto t_it = by_output.find(name);
+    if (t_it == by_output.end()) {
+      throw error_at(referenced_at, "signal without driver: " + name);
+    }
+    const Table& t = *t_it->second;
+    if (t.inputs.size() > 4) {
+      throw error_at(t.line, "table with more than 4 inputs: " + name);
+    }
+    if (!in_progress.insert(name).second) {
+      throw error_at(t.line, "combinational cycle through signal: " + name);
+    }
+    stack.push_back({name, &t, {}});
+    return nullptr;
+  };
+
+  auto resolve = [&](const std::string& root, size_t referenced_at) -> mig::Signal {
+    if (const auto* s = lookup_or_push(root, referenced_at)) return *s;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.leaves.size() < top.table->inputs.size()) {
+        const std::string& next = top.table->inputs[top.leaves.size()];
+        // Either consumes an already-resolved leaf or pushes its table;
+        // the loop revisits this frame after the new frame completes.
+        if (const auto* s = lookup_or_push(next, top.table->line)) {
+          top.leaves.push_back(*s);
+        }
+        continue;
+      }
+      signals[top.name] = build_table(*top.table, top.leaves);
+      in_progress.erase(top.name);
+      stack.pop_back();
+    }
+    return signals.at(root);
   };
 
   for (const auto& name : output_names) {

@@ -1,6 +1,6 @@
 #pragma once
 
-#include <cassert>
+#include "util/assert.hpp"
 #include <cstdint>
 #include <vector>
 
@@ -36,7 +36,7 @@ public:
   uint32_t level(mig::Signal s) const {
     // Nodes must be created through maj() (or exist at construction);
     // anything else would read a level the tracker never computed.
-    assert(s.index() < levels_.size());
+    MIGHTY_ASSERT(s.index() < levels_.size());
     return levels_[s.index()];
   }
   mig::Mig& network() { return mig_; }

@@ -1,7 +1,7 @@
 #include "mig/cuts.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "util/assert.hpp"
 
 namespace mighty::cuts {
 
@@ -97,7 +97,7 @@ void build_node_cuts(const mig::Mig& mig, const CutEnumerationParams& params,
 
 std::vector<std::vector<Cut>> enumerate_cuts(const mig::Mig& mig,
                                              const CutEnumerationParams& params) {
-  assert(params.cut_size <= Cut::max_size);
+  MIGHTY_ASSERT(params.cut_size <= Cut::max_size);
   std::vector<std::vector<Cut>> sets(mig.num_nodes());
 
   // The constant node contributes the empty cut, so that paths to it are
@@ -121,8 +121,8 @@ std::vector<std::vector<Cut>> enumerate_cuts(const mig::Mig& mig,
 void enumerate_cuts_scoped(const mig::Mig& mig, const CutEnumerationParams& params,
                            const std::vector<uint32_t>& scope,
                            std::vector<std::vector<Cut>>& sets) {
-  assert(params.cut_size <= Cut::max_size);
-  assert(sets.size() == mig.num_nodes());
+  MIGHTY_ASSERT(params.cut_size <= Cut::max_size);
+  MIGHTY_ASSERT(sets.size() == mig.num_nodes());
   std::vector<bool> in_scope(mig.num_nodes(), false);
   for (const uint32_t n : scope) in_scope[n] = true;
 
@@ -134,7 +134,7 @@ void enumerate_cuts_scoped(const mig::Mig& mig, const CutEnumerationParams& para
             (*params.boundary)[f]);
   };
   for (const uint32_t n : scope) {
-    assert(mig.is_gate(n));
+    MIGHTY_ASSERT(mig.is_gate(n));
     sets[n].clear();
     build_node_cuts(mig, params, n, forced_leaf, sets, sets[n]);
   }

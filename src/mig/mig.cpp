@@ -1,7 +1,7 @@
 #include "mig/mig.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "util/assert.hpp"
 
 namespace mighty::mig {
 
@@ -11,7 +11,7 @@ Mig::Mig() {
 }
 
 Signal Mig::create_pi() {
-  assert(num_gates() == 0 && "PIs must be created before any gate");
+  MIGHTY_ASSERT(num_gates() == 0 && "PIs must be created before any gate");
   nodes_.push_back(Node{{Signal(0, false), Signal(0, false), Signal(0, false)}});
   ++num_pis_;
   return Signal(num_nodes() - 1, false);

@@ -1,12 +1,12 @@
 #include "mig/simulation.hpp"
 
-#include <cassert>
+#include "util/assert.hpp"
 #include <stdexcept>
 
 namespace mighty::mig {
 
 std::vector<uint64_t> simulate_words(const Mig& mig, const std::vector<uint64_t>& pi_words) {
-  assert(pi_words.size() == mig.num_pis());
+  MIGHTY_ASSERT(pi_words.size() == mig.num_pis());
   std::vector<uint64_t> words(mig.num_nodes(), 0);
   for (uint32_t i = 0; i < mig.num_pis(); ++i) words[1 + i] = pi_words[i];
   for (uint32_t n = 0; n < mig.num_nodes(); ++n) {
@@ -46,7 +46,7 @@ std::vector<tt::TruthTable> output_truth_tables(const Mig& mig) {
 
 tt::TruthTable simulate_cut(const Mig& mig, uint32_t root,
                             const std::vector<uint32_t>& leaves) {
-  assert(leaves.size() <= tt::TruthTable::max_vars);
+  MIGHTY_ASSERT(leaves.size() <= tt::TruthTable::max_vars);
   const auto k = static_cast<uint32_t>(leaves.size());
 
   // Depth-first evaluation from the root down to the leaves, memoized per

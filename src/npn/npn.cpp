@@ -1,13 +1,13 @@
 #include "npn/npn.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "util/assert.hpp"
 #include <numeric>
 
 namespace mighty::npn {
 
 tt::TruthTable apply(const tt::TruthTable& f, const Transform& t) {
-  assert(f.num_vars() == t.num_vars);
+  MIGHTY_ASSERT(f.num_vars() == t.num_vars);
   tt::TruthTable g = f;
   for (uint32_t v = 0; v < f.num_vars(); ++v) {
     if ((t.input_negations >> v) & 1) g = g.flip(v);
@@ -52,7 +52,7 @@ std::vector<std::array<uint8_t, tt::TruthTable::max_vars>> all_permutations(uint
 
 CanonResult canonize(const tt::TruthTable& f) {
   const uint32_t n = f.num_vars();
-  assert(n <= 4);
+  MIGHTY_ASSERT(n <= 4);
   const auto perms = all_permutations(n);
 
   CanonResult best;
@@ -79,7 +79,7 @@ CanonResult canonize(const tt::TruthTable& f) {
 
 uint64_t orbit_size(const tt::TruthTable& f) {
   const uint32_t n = f.num_vars();
-  assert(n <= 4);
+  MIGHTY_ASSERT(n <= 4);
   std::vector<uint64_t> seen;
   Transform t;
   t.num_vars = static_cast<uint8_t>(n);
@@ -98,7 +98,7 @@ uint64_t orbit_size(const tt::TruthTable& f) {
 }
 
 std::vector<tt::TruthTable> enumerate_classes(uint32_t num_vars) {
-  assert(num_vars <= 4);
+  MIGHTY_ASSERT(num_vars <= 4);
   const uint64_t total = uint64_t{1} << (uint64_t{1} << num_vars);
   std::vector<bool> seen(total, false);
   std::vector<tt::TruthTable> reps;

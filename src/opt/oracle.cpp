@@ -153,6 +153,17 @@ ReplacementOracle::CacheStats ReplacementOracle::cache_stats() const {
 ReplacementOracle::CacheLoadResult ReplacementOracle::load_cache(const std::string& path) {
   std::ifstream is(path);
   if (!is) return {CacheLoadStatus::missing, 0, 0};
+  return load_cache_stream(is, path);
+}
+
+ReplacementOracle::CacheLoadResult ReplacementOracle::load_cache(std::istream& is) {
+  // A stream has no on-disk identity, so the clean-skip bookkeeping below
+  // can never claim "persisted at path X" for it.
+  return load_cache_stream(is, std::string());
+}
+
+ReplacementOracle::CacheLoadResult ReplacementOracle::load_cache_stream(
+    std::istream& is, const std::string& path) {
   const CacheLoadResult malformed{CacheLoadStatus::malformed, 0, 0};
 
   std::string header;
@@ -254,7 +265,7 @@ ReplacementOracle::CacheLoadResult ReplacementOracle::load_cache(const std::stri
   }
   {
     std::lock_guard<std::mutex> lock(persist_mutex_);
-    if (result.adopted == result.entries && total == result.entries) {
+    if (!path.empty() && result.adopted == result.entries && total == result.entries) {
       persisted_path_ = path;
     } else if (result.adopted > 0) {
       persisted_path_.clear();

@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <iosfwd>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -129,6 +130,9 @@ public:
   /// outstanding pointers).  Adopted entries are clean; surviving
   /// in-memory entries keep their dirty bit.  Thread-safe.
   CacheLoadResult load_cache(const std::string& path);
+  /// Same validation and merge over an already-open stream (in-memory
+  /// buffers, fuzz harnesses); a stream is never "missing", only malformed.
+  CacheLoadResult load_cache(std::istream& is);
 
   /// Persists the whole 5-input cache to `path` (crash-safe: temp file +
   /// atomic rename; entries sorted by truth table so the file is
@@ -163,6 +167,10 @@ public:
   }
 
 private:
+  /// Shared core of both load_cache overloads; an empty `path` means the
+  /// stream has no on-disk identity for the clean-skip bookkeeping.
+  CacheLoadResult load_cache_stream(std::istream& is, const std::string& path);
+
   /// One cached 5-input synthesis outcome.  `budget` is the conflict limit
   /// in force when the entry was produced: -1 means unlimited — for a
   /// failure that encodes "proved absent within max_gates, never retry",

@@ -1,7 +1,7 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "util/assert.hpp"
 
 namespace mighty::sat {
 
@@ -28,14 +28,14 @@ void Solver::boost_activity(Var v, double amount) {
 }
 
 bool Solver::add_clause(std::vector<Lit> lits) {
-  assert(decision_level() == 0);
+  MIGHTY_ASSERT(decision_level() == 0);
   if (!ok_) return false;
 
   std::sort(lits.begin(), lits.end());
   std::vector<Lit> out;
   Lit prev = -2;
   for (const Lit l : lits) {
-    assert(var_of(l) < num_vars());
+    MIGHTY_ASSERT(var_of(l) < num_vars());
     if (l == prev) continue;                  // duplicate literal
     if (l == negate(prev)) return true;       // tautology
     if (value_lit(l) == 1) return true;       // satisfied at top level
@@ -65,14 +65,14 @@ bool Solver::add_clause(std::vector<Lit> lits) {
 
 void Solver::attach_clause(ClauseRef cref) {
   const Clause& c = clauses_[static_cast<size_t>(cref)];
-  assert(c.lits.size() >= 2);
+  MIGHTY_ASSERT(c.lits.size() >= 2);
   watches_[static_cast<size_t>(c.lits[0])].push_back({cref, c.lits[1]});
   watches_[static_cast<size_t>(c.lits[1])].push_back({cref, c.lits[0]});
 }
 
 void Solver::enqueue(Lit l, ClauseRef reason) {
   const Var v = var_of(l);
-  assert(value_var(v) == 0);
+  MIGHTY_ASSERT(value_var(v) == 0);
   assigns_[static_cast<size_t>(v)] = is_negated(l) ? int8_t{-1} : int8_t{1};
   level_[static_cast<size_t>(v)] = decision_level();
   reason_[static_cast<size_t>(v)] = reason;
@@ -99,7 +99,7 @@ Solver::ClauseRef Solver::propagate() {
       }
       const Lit false_lit = negate(p);
       if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      assert(c.lits[1] == false_lit);
+      MIGHTY_ASSERT(c.lits[1] == false_lit);
       const Lit first = c.lits[0];
       if (first != w.blocker && value_lit(first) == 1) {
         ws[j++] = {w.cref, first};
@@ -144,7 +144,7 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt, int& out_
 
   ClauseRef confl = conflict;
   do {
-    assert(confl != kNoReason);
+    MIGHTY_ASSERT(confl != kNoReason);
     Clause& c = clauses_[static_cast<size_t>(confl)];
     if (c.learnt) bump_clause(c);
     for (size_t k = (p == -1 ? 0 : 1); k < c.lits.size(); ++k) {
@@ -212,7 +212,7 @@ bool Solver::literal_redundant(Lit l, uint32_t abstract_levels) {
     const Lit q = analyze_stack_.back();
     analyze_stack_.pop_back();
     const ClauseRef r = reason_[static_cast<size_t>(var_of(q))];
-    assert(r != kNoReason);
+    MIGHTY_ASSERT(r != kNoReason);
     const Clause& c = clauses_[static_cast<size_t>(r)];
     for (size_t k = 1; k < c.lits.size(); ++k) {
       const Lit p = c.lits[k];
@@ -291,7 +291,7 @@ void Solver::bump_clause(Clause& c) {
 }
 
 void Solver::reduce_db() {
-  assert(decision_level() == 0);
+  MIGHTY_ASSERT(decision_level() == 0);
   // Collect learnt, non-locked clauses and drop the worse half by (lbd, act).
   std::vector<ClauseRef> learnts;
   for (size_t i = 0; i < clauses_.size(); ++i) {
@@ -335,7 +335,7 @@ void Solver::reduce_db() {
       continue;
     }
     c.lits.resize(keep);
-    assert(!c.lits.empty());
+    MIGHTY_ASSERT(!c.lits.empty());
     if (c.lits.size() == 1) {
       if (value_lit(c.lits[0]) == 0) enqueue(c.lits[0], kNoReason);
       c.removed = true;

@@ -1,6 +1,6 @@
 #include "smt/bitvector.hpp"
 
-#include <cassert>
+#include "util/assert.hpp"
 
 namespace mighty::smt {
 
@@ -84,7 +84,7 @@ Lit Context::make_maj(Lit a, Lit b, Lit c) {
 }
 
 Lit Context::eq(const BitVector& a, const BitVector& b) {
-  assert(a.width() == b.width());
+  MIGHTY_ASSERT(a.width() == b.width());
   Lit acc = true_lit();
   for (uint32_t i = 0; i < a.width(); ++i) {
     acc = make_and(acc, make_eq(a.bits[i], b.bits[i]));
@@ -93,7 +93,7 @@ Lit Context::eq(const BitVector& a, const BitVector& b) {
 }
 
 Lit Context::ult(const BitVector& a, const BitVector& b) {
-  assert(a.width() == b.width());
+  MIGHTY_ASSERT(a.width() == b.width());
   // Ripple comparison from the least significant bit:
   // lt_i = (!a_i & b_i) | (a_i == b_i) & lt_{i-1}.
   Lit lt = false_lit();

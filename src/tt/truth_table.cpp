@@ -6,7 +6,7 @@
 namespace mighty::tt {
 
 TruthTable TruthTable::swap_vars(uint32_t a, uint32_t b) const {
-  assert(a < num_vars_ && b < num_vars_);
+  MIGHTY_ASSERT(a < num_vars_ && b < num_vars_);
   if (a == b) return *this;
   TruthTable result(num_vars_);
   for (uint32_t m = 0; m < num_bits(); ++m) {
@@ -34,7 +34,7 @@ TruthTable TruthTable::permute(const std::array<uint8_t, max_vars>& perm) const 
 }
 
 TruthTable TruthTable::extend(uint32_t new_num_vars) const {
-  assert(new_num_vars >= num_vars_ && new_num_vars <= max_vars);
+  MIGHTY_ASSERT(new_num_vars >= num_vars_ && new_num_vars <= max_vars);
   uint64_t b = bits_;
   for (uint32_t v = num_vars_; v < new_num_vars; ++v) {
     b |= b << (1u << v);

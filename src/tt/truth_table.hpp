@@ -1,7 +1,7 @@
 #pragma once
 
 #include <array>
-#include <cassert>
+#include "util/assert.hpp"
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -31,7 +31,7 @@ public:
   /// the table length are discarded.
   constexpr explicit TruthTable(uint32_t num_vars, uint64_t bits = 0)
       : bits_(bits & length_mask(num_vars)), num_vars_(num_vars) {
-    assert(num_vars <= max_vars);
+    MIGHTY_ASSERT(num_vars <= max_vars);
   }
 
   /// The constant-`value` function over `num_vars` variables.
@@ -42,14 +42,14 @@ public:
   /// The (possibly complemented) projection x_var over `num_vars` variables.
   static constexpr TruthTable projection(uint32_t num_vars, uint32_t var,
                                          bool complemented = false) {
-    assert(var < num_vars);
+    MIGHTY_ASSERT(var < num_vars);
     return TruthTable(num_vars, complemented ? ~var_mask(var) : var_mask(var));
   }
 
   /// The ternary majority of three equally sized tables.
   static constexpr TruthTable maj(const TruthTable& a, const TruthTable& b,
                                   const TruthTable& c) {
-    assert(a.num_vars_ == b.num_vars_ && b.num_vars_ == c.num_vars_);
+    MIGHTY_ASSERT(a.num_vars_ == b.num_vars_ && b.num_vars_ == c.num_vars_);
     return TruthTable(a.num_vars_,
                       (a.bits_ & b.bits_) | (a.bits_ & c.bits_) | (b.bits_ & c.bits_));
   }
@@ -57,7 +57,7 @@ public:
   /// If-then-else: sel ? t : e.
   static constexpr TruthTable ite(const TruthTable& sel, const TruthTable& t,
                                   const TruthTable& e) {
-    assert(sel.num_vars_ == t.num_vars_ && t.num_vars_ == e.num_vars_);
+    MIGHTY_ASSERT(sel.num_vars_ == t.num_vars_ && t.num_vars_ == e.num_vars_);
     return TruthTable(sel.num_vars_, (sel.bits_ & t.bits_) | (~sel.bits_ & e.bits_));
   }
 
@@ -66,11 +66,11 @@ public:
   constexpr uint32_t num_bits() const { return 1u << num_vars_; }
 
   constexpr bool get_bit(uint32_t index) const {
-    assert(index < num_bits());
+    MIGHTY_ASSERT(index < num_bits());
     return (bits_ >> index) & 1;
   }
   constexpr void set_bit(uint32_t index, bool value) {
-    assert(index < num_bits());
+    MIGHTY_ASSERT(index < num_bits());
     bits_ = (bits_ & ~(uint64_t{1} << index)) | (uint64_t{value} << index);
   }
 
@@ -78,15 +78,15 @@ public:
     return TruthTable(num_vars_, ~bits_);
   }
   constexpr TruthTable operator&(const TruthTable& other) const {
-    assert(num_vars_ == other.num_vars_);
+    MIGHTY_ASSERT(num_vars_ == other.num_vars_);
     return TruthTable(num_vars_, bits_ & other.bits_);
   }
   constexpr TruthTable operator|(const TruthTable& other) const {
-    assert(num_vars_ == other.num_vars_);
+    MIGHTY_ASSERT(num_vars_ == other.num_vars_);
     return TruthTable(num_vars_, bits_ | other.bits_);
   }
   constexpr TruthTable operator^(const TruthTable& other) const {
-    assert(num_vars_ == other.num_vars_);
+    MIGHTY_ASSERT(num_vars_ == other.num_vars_);
     return TruthTable(num_vars_, bits_ ^ other.bits_);
   }
   constexpr bool operator==(const TruthTable& other) const {
@@ -96,7 +96,7 @@ public:
   /// Numeric order on equally sized tables; used to pick NPN representatives
   /// ("the function with the smallest truth table", paper Sec. II-D).
   constexpr bool operator<(const TruthTable& other) const {
-    assert(num_vars_ == other.num_vars_);
+    MIGHTY_ASSERT(num_vars_ == other.num_vars_);
     return bits_ < other.bits_;
   }
 
@@ -114,7 +114,7 @@ public:
   /// Positive/negative cofactor w.r.t. variable `var`.  The result keeps the
   /// same variable count (the cofactored variable becomes irrelevant).
   constexpr TruthTable cofactor(uint32_t var, bool value) const {
-    assert(var < num_vars_);
+    MIGHTY_ASSERT(var < num_vars_);
     const uint64_t m = var_mask(var);
     const uint32_t shift = 1u << var;
     uint64_t half = value ? (bits_ & m) : (bits_ & ~m);
@@ -140,7 +140,7 @@ public:
 
   /// Complements input variable `var` (x_var -> !x_var).
   constexpr TruthTable flip(uint32_t var) const {
-    assert(var < num_vars_);
+    MIGHTY_ASSERT(var < num_vars_);
     const uint64_t m = var_mask(var);
     const uint32_t shift = 1u << var;
     return TruthTable(num_vars_, ((bits_ & m) >> shift) | ((bits_ & ~m) << shift));

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file assert.hpp
+/// \brief Always-armed invariant assertions.
+///
+/// The standard `assert` vanishes under NDEBUG, which is exactly the build
+/// the benches (and any production binary) run — so the invariants guarding
+/// the hot paths were only ever exercised by the Debug CI leg.  MIGHTY_ASSERT
+/// stays armed in every build type as a cheap check; it compiles out only
+/// under an explicit -DMIGHTY_UNCHECKED (the CMake option of the same name),
+/// so dropping the checks is a deliberate, visible decision rather than a
+/// side effect of the build type.
+///
+/// Usage mirrors assert: the condition may carry a message via the usual
+/// `MIGHTY_ASSERT(cond && "message")` idiom.
+
+namespace mighty::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "MIGHTY_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace mighty::util
+
+#if defined(MIGHTY_UNCHECKED)
+#define MIGHTY_ASSERT(cond) ((void)0)
+#else
+#define MIGHTY_ASSERT(cond) \
+  (static_cast<bool>(cond)  \
+       ? (void)0            \
+       : ::mighty::util::assert_fail(#cond, __FILE__, __LINE__))
+#endif

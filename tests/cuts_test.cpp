@@ -156,7 +156,9 @@ TEST(CutsTest, NoDominatedCutsStored) {
       for (size_t j = 0; j < set.size(); ++j) {
         if (i == j) continue;
         EXPECT_FALSE(set[i].subset_of(set[j]) && set[j].subset_of(set[i]));
-        if (i < j) EXPECT_FALSE(set[i] == set[j]);
+        if (i < j) {
+          EXPECT_FALSE(set[i] == set[j]);
+        }
       }
     }
   }

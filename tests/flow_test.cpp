@@ -360,7 +360,9 @@ TEST(FlowSessionTest, MalformedCacheFileIsIgnoredNotFatal) {
   const auto network = algebra::depth_optimize(gen::make_adder_n(8));
   Pipeline::parse("TF5").run(network, session);
   EXPECT_GT(session.save_cache(), 0u);
-  Session reload(exact::Database(db()), SessionParams{.oracle_cache_path = path});
+  SessionParams reload_params;
+  reload_params.oracle_cache_path = path;
+  Session reload(exact::Database(db()), std::move(reload_params));
   EXPECT_EQ(reload.load_cache().status,
             opt::ReplacementOracle::CacheLoadStatus::loaded);
   std::filesystem::remove_all(dir);

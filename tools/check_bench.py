@@ -10,7 +10,9 @@ table4_mapping with --json) against a checked-in baseline:
     cache5_reuse_rate) are higher-is-better: they FAIL when they drop below
     the baseline (these are deterministic counter ratios, not wall time);
   * wall time ("seconds" metrics) only WARNS, because CI machines are noisy;
-    the tolerance factor is configurable;
+    the tolerance factor is configurable; when the result JSON carries a
+    non-empty "sanitizer" stamp (ASan/TSan/UBSan build) wall metrics are not
+    compared at all, just flagged once;
   * a benchmark or variant present in the baseline but missing from the
     result FAILS (silently dropping coverage must not pass);
   * improvements are listed so the baseline can be refreshed deliberately.
@@ -54,7 +56,8 @@ def index_benchmarks(doc, path):
     return indexed
 
 
-def compare_metrics(context, baseline, current, tolerance, report):
+def compare_metrics(context, baseline, current, tolerance, report,
+                    sanitizer=""):
     """Compares one metric group; records regressions in `report`."""
     for metric, base_value in baseline.items():
         if metric not in current:
@@ -74,6 +77,12 @@ def compare_metrics(context, baseline, current, tolerance, report):
                 f"(baseline {base_value!r}, result {value!r})")
             continue
         if metric in WALL_METRICS:
+            if sanitizer:
+                # Instrumented builds (ASan/TSan/UBSan) run several times
+                # slower; their wall numbers say nothing about the code, so
+                # they are not even compared -- main() emits one summary
+                # warning per run instead of one per metric.
+                continue
             if base_value > 0 and value > base_value * tolerance:
                 report["warnings"].append(
                     f"{context}: {metric} {value:.2f}s vs baseline "
@@ -116,20 +125,30 @@ def main():
     result = index_benchmarks(result_doc, args.result)
     report = {"failures": [], "warnings": [], "improvements": []}
 
+    # Bench binaries stamp the sanitizer they were built under into the JSON
+    # (empty for plain builds, absent for pre-stamp artifacts).  Wall metrics
+    # from an instrumented run are meaningless against a plain baseline.
+    sanitizer = result_doc.get("sanitizer", "") or ""
+    if sanitizer:
+        report["warnings"].append(
+            f"result was produced by a '{sanitizer}'-instrumented build; "
+            f"wall-time metrics are not compared (quality metrics still gate)")
+
     for name, base_bench in baseline.items():
         if name not in result:
             report["failures"].append(f"benchmark '{name}' missing from result")
             continue
         bench = result[name]
         compare_metrics(f"{name}/baseline", base_bench.get("baseline", {}),
-                        bench.get("baseline", {}), args.wall_tolerance, report)
+                        bench.get("baseline", {}), args.wall_tolerance, report,
+                        sanitizer)
         for variant, base_metrics in base_bench.get("variants", {}).items():
             current_metrics = bench.get("variants", {}).get(variant)
             if current_metrics is None:
                 report["failures"].append(f"{name}: variant '{variant}' missing")
                 continue
             compare_metrics(f"{name}/{variant}", base_metrics, current_metrics,
-                            args.wall_tolerance, report)
+                            args.wall_tolerance, report, sanitizer)
     for name in result:
         if name not in baseline:
             report["warnings"].append(
