@@ -9,36 +9,52 @@
 //
 // Or non-interactively:  echo "gen adder 32; fh TF; ps" | ./build/examples/mighty_shell
 //
-// All optimization commands are thin wrappers over flow::Pipeline running in
-// one flow::Session, so the NPN database and the 5-input oracle cache are
-// shared across every command of the shell's lifetime.
+// Every optimization command is a JobRequest against a mighty::api::Service —
+// by default the in-process api::LocalService (one warm flow::Session for the
+// shell's lifetime), or, after `connect <socket>`, a mighty-serve daemon over
+// the wire.  Local and remote take the identical code path, and the daemon's
+// results are bit-identical to in-process runs.
 
 #include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "api/api.hpp"
 #include "cec/cec.hpp"
-#include "check/check.hpp"
 #include "flow/flow.hpp"
 #include "gen/arith.hpp"
 #include "io/io.hpp"
 #include "mig/mig.hpp"
+#include "serve/client.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace mighty;
 
 namespace {
 
+std::string to_blif(const mig::Mig& mig) {
+  std::ostringstream os;
+  io::write_blif(os, mig);
+  return os.str();
+}
+
 struct Shell {
   std::optional<mig::Mig> current;
   std::optional<mig::Mig> original;  ///< snapshot for cec
-  flow::Session session;
+  api::LocalService local;
+  std::unique_ptr<serve::RemoteService> remote;
+
+  /// Where jobs go: the daemon when connected, the in-process service
+  /// otherwise.  Same contract either way.
+  api::Service& service() { return remote ? *static_cast<api::Service*>(remote.get()) : local; }
+  const char* service_name() const { return remote ? "daemon" : "local"; }
 
   bool require_network() {
     if (!current) {
@@ -53,11 +69,27 @@ struct Shell {
            current->num_pos(), current->count_live_gates(), current->depth());
   }
 
-  /// Runs a pipeline on the current network and prints its trajectory.
-  void run_pipeline(const flow::Pipeline& pipeline) {
-    flow::FlowReport report;
-    current = pipeline.run(*current, session, &report);
-    fputs(report.summary().c_str(), stdout);
+  /// Submits the current network with `script` as one job, waits for the
+  /// result, prints the trajectory and (when `adopt`) replaces the current
+  /// network with the optimized artifact.  Returns false when the job failed.
+  bool run_job(const std::string& script, bool adopt) {
+    api::JobRequest request;
+    request.name = "shell";
+    request.script = script;
+    request.network_blif = to_blif(*current);
+    const api::JobId id = service().submit(request);
+    const api::JobResult result = service().result(id);
+    if (result.code != api::ErrorCode::ok) {
+      printf("error [%s]: %s\n", api::error_code_name(result.code),
+             result.message.c_str());
+      return false;
+    }
+    fputs(result.report.summary().c_str(), stdout);
+    if (adopt) {
+      std::istringstream blif(result.network_blif);
+      current = io::read_blif(blif);
+    }
+    return true;
   }
 
   void command(const std::string& line);
@@ -85,13 +117,16 @@ void Shell::command(const std::string& line) {
         "  batch <dir|gen> <script>\n"
         "                        run a flow script over a whole corpus (every\n"
         "                        .blif in <dir>, or the built-in generator\n"
-        "                        corpus) with the oracle shared corpus-wide;\n"
-        "                        networks run concurrently at `threads` > 1\n"
+        "                        corpus), one job per network on the service\n"
         "  autotune <size|depth|product> [dir|gen]\n"
         "                        search the flow-script grammar for the best\n"
         "                        flow under an objective (corpus as in batch;\n"
         "                        default gen); prints the Pareto front and the\n"
         "                        winning script — rerun it with `flow <script>`\n"
+        "  connect <socket>      send later jobs to a mighty-serve daemon\n"
+        "  disconnect            go back to the in-process service\n"
+        "  shutdown              ask the connected daemon to shut down\n"
+        "  stats                 service counters (jobs, oracle, cache)\n"
         "  threads [n]           set/show session parallelism (deterministic)\n"
         "  cache load <path>     merge a persistent 5-input oracle cache\n"
         "  cache save [path]     persist the oracle cache (also on exit)\n"
@@ -130,6 +165,73 @@ void Shell::command(const std::string& line) {
     print_stats("generated");
     return;
   }
+  if (cmd == "connect") {
+    std::string path;
+    is >> path;
+    if (path.empty()) {
+      printf("usage: connect <socket path>\n");
+      return;
+    }
+    try {
+      remote = std::make_unique<serve::RemoteService>(path);
+      const auto s = remote->stats();
+      printf("connected to %s (%llu jobs served, %llu cached syntheses)\n",
+             path.c_str(), static_cast<unsigned long long>(s.submitted),
+             static_cast<unsigned long long>(s.cache_entries));
+    } catch (const std::exception& e) {
+      printf("error: %s\n", e.what());
+    }
+    return;
+  }
+  if (cmd == "disconnect") {
+    if (!remote) {
+      printf("not connected\n");
+      return;
+    }
+    remote.reset();
+    printf("back to the in-process service\n");
+    return;
+  }
+  if (cmd == "shutdown") {
+    if (!remote) {
+      printf("not connected to a daemon (the local service stops on quit)\n");
+      return;
+    }
+    try {
+      remote->shutdown();
+      printf("daemon is shutting down (cache persisted)\n");
+    } catch (const std::exception& e) {
+      printf("error: %s\n", e.what());
+    }
+    remote.reset();
+    return;
+  }
+  if (cmd == "stats") {
+    try {
+      const auto s = service().stats();
+      printf("%s service: %llu submitted, %llu done, %llu failed, %llu "
+             "cancelled (%llu queued, %llu running) on %u job worker%s x %u "
+             "thread%s\n",
+             service_name(), static_cast<unsigned long long>(s.submitted),
+             static_cast<unsigned long long>(s.completed),
+             static_cast<unsigned long long>(s.failed),
+             static_cast<unsigned long long>(s.cancelled),
+             static_cast<unsigned long long>(s.queued),
+             static_cast<unsigned long long>(s.running), s.job_workers,
+             s.job_workers == 1 ? "" : "s", s.threads,
+             s.threads == 1 ? "" : "s");
+      printf("oracle: %llu queries, %llu cache hits, %llu synthesized; cache "
+             "%llu entries (%llu dirty)\n",
+             static_cast<unsigned long long>(s.oracle_queries),
+             static_cast<unsigned long long>(s.oracle_cache5_hits),
+             static_cast<unsigned long long>(s.oracle_synthesized),
+             static_cast<unsigned long long>(s.cache_entries),
+             static_cast<unsigned long long>(s.cache_dirty));
+    } catch (const std::exception& e) {
+      printf("error: %s\n", e.what());
+    }
+    return;
+  }
   if (cmd == "threads") {
     uint32_t n = 0;
     if (is >> n) {
@@ -138,10 +240,11 @@ void Shell::command(const std::string& line) {
                util::ThreadPool::kMaxParallelism);
         return;
       }
-      session.set_threads(n);
+      local.session().set_threads(n);
     }
     printf("session parallelism: %u thread%s (results are identical at any "
-           "count)\n", session.threads(), session.threads() == 1 ? "" : "s");
+           "count)\n", local.session().threads(),
+           local.session().threads() == 1 ? "" : "s");
     return;
   }
   if (cmd == "cache") {
@@ -153,46 +256,34 @@ void Shell::command(const std::string& line) {
           printf("usage: cache load <path>\n");
           return;
         }
-        session.set_cache_path(path);  // records only; the load below merges
-        const auto r = session.load_cache();
-        using Status = opt::ReplacementOracle::CacheLoadStatus;
-        if (r.status == Status::missing) {
+        const auto info = service().cache_load(path);
+        if (info.status == "missing") {
           printf("no cache file at %s yet (it will be created on save)\n",
                  path.c_str());
-        } else if (r.status == Status::malformed) {
+        } else if (info.status == "malformed") {
           printf("rejected malformed cache %s (next save rewrites it)\n",
                  path.c_str());
         } else {
-          printf("loaded %zu entr%s (%zu adopted) from %s\n", r.entries,
-                 r.entries == 1 ? "y" : "ies", r.adopted, path.c_str());
+          printf("loaded: %zu entr%s in the cache (%zu newly adopted) from %s\n",
+                 info.entries, info.entries == 1 ? "y" : "ies", info.adopted,
+                 path.c_str());
         }
       } else if (sub == "save") {
-        if (!path.empty()) session.set_cache_path(path);
-        if (session.cache_path().empty()) {
-          printf("no cache path set; use `cache save <path>`\n");
-          return;
-        }
-        const size_t written = session.save_cache();
+        const size_t written = service().cache_save(path);
         if (written == 0) {
-          printf("nothing new to save (cache %s is up to date)\n",
-                 session.cache_path().c_str());
+          printf("nothing new to save (cache is up to date)\n");
         } else {
-          printf("saved %zu entr%s to %s\n", written, written == 1 ? "y" : "ies",
-                 session.cache_path().c_str());
+          printf("saved %zu entr%s\n", written, written == 1 ? "y" : "ies");
         }
       } else if (sub == "stats") {
-        printf("cache path: %s\n",
-               session.cache_path().empty() ? "(none)" : session.cache_path().c_str());
-        if (const auto* oracle = session.oracle_if_created()) {
-          const auto s = oracle->cache_stats();
-          printf("5-input cache: %zu entries (%zu replacements, %zu failures), "
-                 "%zu dirty\n", s.entries, s.successes, s.failures, s.dirty);
-        } else {
-          printf("5-input cache: oracle not materialized yet\n");
-        }
+        const auto info = service().cache_stats();
+        printf("5-input cache (%s service): %zu entries, %zu dirty\n",
+               service_name(), info.entries, info.dirty);
       } else {
         printf("usage: cache <load|save|stats> [path]\n");
       }
+    } catch (const api::Error& e) {
+      printf("error [%s]: %s\n", api::error_code_name(e.code()), e.what());
     } catch (const std::exception& e) {
       printf("error: %s\n", e.what());
     }
@@ -200,6 +291,8 @@ void Shell::command(const std::string& line) {
   }
   if (cmd == "batch") {
     // Corpus-level execution needs no `current` network: it brings its own.
+    // One job per network, all submitted before the first result is fetched,
+    // so a multi-worker service (or the daemon) runs them concurrently.
     std::string source, script;
     is >> source;
     std::getline(is, script);
@@ -214,16 +307,42 @@ void Shell::command(const std::string& line) {
         printf("corpus '%s' contains no networks\n", source.c_str());
         return;
       }
-      flow::BatchReport report;
-      flow::BatchRunner(session).run(corpus, flow::Pipeline::parse(script), &report);
-      fputs(report.summary().c_str(), stdout);
+      std::vector<api::JobId> ids;
+      ids.reserve(corpus.size());
+      for (size_t i = 0; i < corpus.size(); ++i) {
+        api::JobRequest request;
+        request.name = corpus[i].name;
+        request.script = script;
+        request.network_blif = to_blif(corpus[i].mig);
+        ids.push_back(service().submit(request));
+      }
+      uint32_t gates_before = 0, gates_after = 0, failures = 0;
+      for (size_t i = 0; i < corpus.size(); ++i) {
+        const auto result = service().result(ids[i]);
+        if (result.code != api::ErrorCode::ok) {
+          printf("%-16s error [%s]: %s\n", corpus[i].name.c_str(),
+                 api::error_code_name(result.code), result.message.c_str());
+          ++failures;
+          continue;
+        }
+        printf("%-16s %6u -> %5u gates, %4u -> %3u depth, %6.2fs\n",
+               corpus[i].name.c_str(), result.report.size_before,
+               result.report.size_after, result.report.depth_before,
+               result.report.depth_after, result.report.seconds);
+        gates_before += result.report.size_before;
+        gates_after += result.report.size_after;
+      }
+      printf("batch total: %u -> %u gates over %zu network%s, %u failure%s\n",
+             gates_before, gates_after, corpus.size(),
+             corpus.size() == 1 ? "" : "s", failures, failures == 1 ? "" : "s");
     } catch (const std::exception& e) {
       printf("error: %s\n", e.what());
     }
     return;
   }
   if (cmd == "autotune") {
-    // Like `batch`, autotune brings its own corpus; no `current` needed.
+    // Autotune explores many candidate flows against the in-process session;
+    // it stays a local driver (rerun the winner anywhere with `flow`).
     std::string objective, source;
     is >> objective >> source;
     if (objective.empty()) {
@@ -245,7 +364,7 @@ void Shell::command(const std::string& line) {
            flow::objective_name(params.objective), corpus.size(),
            corpus.size() == 1 ? "" : "s", params.population);
     flow::TuneReport report;
-    flow::Autotuner(session, params).tune(corpus, &report);
+    flow::Autotuner(local.session(), params).tune(corpus, &report);
     fputs(report.summary().c_str(), stdout);
     return;
   }
@@ -266,37 +385,31 @@ void Shell::command(const std::string& line) {
   if (cmd == "ps") {
     print_stats("network");
   } else if (cmd == "check") {
-    const auto report = check::validate_at(*current, /*full=*/true);
-    fputs(report.summary().c_str(), stdout);
+    // The "check" script word: full validation on the service (throws into
+    // the job result on violation).  The network is not adopted — check is
+    // an assertion, not a transformation.
+    if (run_job("check", /*adopt=*/false)) printf("all invariants hold\n");
   } else if (cmd == "depth_opt") {
-    run_pipeline(flow::Pipeline().depth_opt());
+    run_job("depth", /*adopt=*/true);
   } else if (cmd == "size_opt") {
-    run_pipeline(flow::Pipeline().size_opt());
+    run_job("size", /*adopt=*/true);
   } else if (cmd == "fh") {
     std::string variant = "BF";
     is >> variant;
-    try {
-      run_pipeline(flow::Pipeline().rewrite(variant));
-    } catch (const std::exception& e) {
-      printf("error: %s\n", e.what());
-    }
+    run_job(variant, /*adopt=*/true);
   } else if (cmd == "flow") {
     std::string script;
     std::getline(is, script);
-    try {
-      run_pipeline(flow::Pipeline::parse(script));
-    } catch (const std::exception& e) {
-      printf("error: %s\n", e.what());
-    }
+    run_job(script, /*adopt=*/true);
   } else if (cmd == "map") {
-    map::MapParams params;
-    is >> params.lut_size;
-    if (!is) params.lut_size = 6;
-    if (params.lut_size < 2 || params.lut_size > 16) {
+    uint32_t lut_size = 6;
+    is >> lut_size;
+    if (!is) lut_size = 6;
+    if (lut_size < 2 || lut_size > 16) {
       printf("LUT size must be between 2 and 16\n");
       return;
     }
-    run_pipeline(flow::Pipeline().lut_map(params));
+    run_job("map" + std::to_string(lut_size), /*adopt=*/false);
   } else if (cmd == "cec") {
     if (!original) {
       printf("no reference network\n");
@@ -371,6 +484,8 @@ int main() {
       const auto dispatch = [&shell](const std::string& text) {
         try {
           shell.command(text);
+        } catch (const api::Error& e) {
+          printf("error [%s]: %s\n", api::error_code_name(e.code()), e.what());
         } catch (const std::exception& e) {
           printf("error: %s\n", e.what());
         }

@@ -3,14 +3,16 @@
 //
 //   $ ./build/examples/quickstart
 //
-// Walks through the core API: network construction, the precomputed NPN
-// database, a rewriting pass, equivalence checking and BLIF export.
+// Walks through the public job API: network construction, a JobRequest
+// against the in-process api::LocalService, equivalence checking and BLIF
+// export.  The same request, submitted to a mighty-serve daemon through
+// serve::RemoteService, returns a bit-identical artifact.
 
 #include <cstdio>
 #include <sstream>
 
+#include "api/api.hpp"
 #include "cec/cec.hpp"
-#include "flow/flow.hpp"
 #include "io/io.hpp"
 #include "mig/mig.hpp"
 #include "mig/simulation.hpp"
@@ -38,29 +40,44 @@ int main() {
   printf("initial MIG : %u majority gates, depth %u\n", m.count_live_gates(),
          m.depth());
 
-  // 2. Open a flow session: it loads (or builds once) the database of minimum
-  //    MIGs for all 222 NPN classes of 4-variable functions, and owns the
-  //    replacement oracle every pass shares.
-  flow::Session session;
-  printf("database    : %zu NPN classes\n", session.database().num_entries());
+  // 2. Open the in-process service: it owns one flow::Session, which loads
+  //    (or builds once) the database of minimum MIGs for all 222 NPN classes
+  //    of 4-variable functions and the replacement oracle every job shares.
+  api::LocalService service;
+  printf("database    : %zu NPN classes\n",
+         service.session().database().num_entries());
 
-  // 3. One pass of global bottom-up functional hashing ("B"); on a circuit
-  //    this small the global variant sees across the fanout boundaries and
-  //    recovers the majority-form carries.
-  flow::FlowReport report;
-  const auto optimized = flow::Pipeline().rewrite("B").run(m, session, &report);
+  // 3. Describe the work as a JobRequest: the network (as BLIF text), a flow
+  //    script, and optional budgets.  "B" is one pass of global bottom-up
+  //    functional hashing; on a circuit this small the global variant sees
+  //    across the fanout boundaries and recovers the majority-form carries.
+  api::JobRequest request;
+  request.name = "quickstart";
+  request.script = "B";
+  {
+    std::ostringstream blif;
+    io::write_blif(blif, m);
+    request.network_blif = blif.str();
+  }
+  const api::JobResult result = service.result(service.submit(request));
+  if (result.code != api::ErrorCode::ok) {
+    printf("job failed [%s]: %s\n", api::error_code_name(result.code),
+           result.message.c_str());
+    return 1;
+  }
   printf("optimized   : %u gates, depth %u  (%.1f%% size reduction)\n",
-         report.size_after, report.depth_after,
-         100.0 * (report.size_before - report.size_after) / report.size_before);
+         result.report.size_after, result.report.depth_after,
+         100.0 * (result.report.size_before - result.report.size_after) /
+             result.report.size_before);
 
   // 4. Prove the rewrite preserved the function.
+  std::istringstream optimized_blif(result.network_blif);
+  const auto optimized = io::read_blif(optimized_blif);
   const auto cec = cec::check_equivalence(m, optimized);
   printf("equivalence : %s\n",
          cec.status == cec::CecStatus::equivalent ? "proven by SAT" : "FAILED");
 
-  // 5. Export the result.
-  std::ostringstream blif;
-  io::write_blif(blif, optimized, "adder2");
-  printf("\nBLIF of the optimized network:\n%s", blif.str().c_str());
+  // 5. The result artifact IS the export: BLIF text, ready to write out.
+  printf("\nBLIF of the optimized network:\n%s", result.network_blif.c_str());
   return cec.status == cec::CecStatus::equivalent ? 0 : 1;
 }

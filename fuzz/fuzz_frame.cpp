@@ -1,0 +1,97 @@
+// Fuzz target: the mighty-serve wire protocol (serve/protocol.hpp).
+//
+// Three properties over arbitrary byte streams:
+//
+//   1. FrameDecoder is chunking-independent: feeding the stream whole or in
+//      3-byte slices yields the same frames (or the same oversized_frame
+//      rejection at the same point).  The daemon sees arbitrary TCP-style
+//      fragmentation, so framing must not depend on read() boundaries.
+//   2. The decoder's only throw is api::Error(oversized_frame), raised from
+//      the header alone; truncated input is "wait for more", never a crash.
+//   3. Every message decoder either throws api::Error(malformed_frame) or
+//      produces a value whose encoding is a fixpoint: encode(decode(p))
+//      re-decodes to the identical bytes.  (Plain round-trip equality is too
+//      strong: decoders normalize, e.g. an out-of-range error code clamps to
+//      `internal`.)
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "api/error.hpp"
+#include "driver.hpp"
+#include "serve/protocol.hpp"
+
+using namespace mighty;
+
+namespace {
+
+struct DecodeOutcome {
+  std::vector<serve::Frame> frames;
+  bool oversized = false;
+};
+
+DecodeOutcome decode_all(const uint8_t* data, size_t size, size_t chunk) {
+  DecodeOutcome out;
+  serve::FrameDecoder decoder;
+  size_t pos = 0;
+  try {
+    while (pos < size) {
+      const size_t n = size - pos < chunk ? size - pos : chunk;
+      decoder.feed(data + pos, n);
+      pos += n;
+      while (auto frame = decoder.next()) out.frames.push_back(std::move(*frame));
+    }
+  } catch (const api::Error& e) {
+    FUZZ_REQUIRE(e.code() == api::ErrorCode::oversized_frame);
+    out.oversized = true;
+  }
+  return out;
+}
+
+/// Applies one decode/encode pair to `payload`; requires malformed_frame on
+/// rejection and an encoding fixpoint on success.
+template <typename Decode, typename Encode>
+void check_codec(const std::vector<uint8_t>& payload, Decode decode, Encode encode) {
+  std::vector<uint8_t> once;
+  try {
+    once = encode(decode(payload));
+  } catch (const api::Error& e) {
+    FUZZ_REQUIRE(e.code() == api::ErrorCode::malformed_frame);
+    return;
+  }
+  // A value the codec itself produced must decode cleanly and re-encode to
+  // the same bytes — normalization happens at most once.
+  const std::vector<uint8_t> twice = encode(decode(once));
+  FUZZ_REQUIRE(once == twice);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 16)) return 0;
+
+  const DecodeOutcome whole = decode_all(data, size, size == 0 ? 1 : size);
+  const DecodeOutcome split = decode_all(data, size, 3);
+  FUZZ_REQUIRE(whole.oversized == split.oversized);
+  FUZZ_REQUIRE(whole.frames.size() == split.frames.size());
+  for (size_t i = 0; i < whole.frames.size(); ++i) {
+    FUZZ_REQUIRE(whole.frames[i].tag == split.frames[i].tag);
+    FUZZ_REQUIRE(whole.frames[i].payload == split.frames[i].payload);
+  }
+
+  for (const auto& frame : whole.frames) {
+    const auto& p = frame.payload;
+    check_codec(p, serve::decode_hello, serve::encode_hello);
+    check_codec(p, serve::decode_submit, serve::encode_submit);
+    check_codec(p, serve::decode_job_id, serve::encode_job_id);
+    check_codec(p, serve::decode_status_ok, serve::encode_status_ok);
+    check_codec(p, serve::decode_result_ok, serve::encode_result_ok);
+    check_codec(p, serve::decode_cancel_ok, serve::encode_cancel_ok);
+    check_codec(p, serve::decode_stats_ok, serve::encode_stats_ok);
+    check_codec(p, serve::decode_error, [](const api::Error& e) {
+      return serve::encode_error(e.code(), e.what());
+    });
+  }
+  return 0;
+}

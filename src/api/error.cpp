@@ -1,0 +1,45 @@
+#include "api/error.hpp"
+
+namespace mighty::api {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::ok: return "ok";
+    case ErrorCode::invalid_script: return "invalid_script";
+    case ErrorCode::invalid_network: return "invalid_network";
+    case ErrorCode::invalid_request: return "invalid_request";
+    case ErrorCode::job_not_found: return "job_not_found";
+    case ErrorCode::cancelled: return "cancelled";
+    case ErrorCode::node_budget_exceeded: return "node_budget_exceeded";
+    case ErrorCode::wall_budget_exceeded: return "wall_budget_exceeded";
+    case ErrorCode::conflict_budget_exceeded: return "conflict_budget_exceeded";
+    case ErrorCode::shutting_down: return "shutting_down";
+    case ErrorCode::io_error: return "io_error";
+    case ErrorCode::check_failed: return "check_failed";
+    case ErrorCode::unsupported: return "unsupported";
+    case ErrorCode::version_mismatch: return "version_mismatch";
+    case ErrorCode::malformed_frame: return "malformed_frame";
+    case ErrorCode::oversized_frame: return "oversized_frame";
+    case ErrorCode::unknown_message: return "unknown_message";
+    case ErrorCode::connection_lost: return "connection_lost";
+    case ErrorCode::internal: return "internal";
+  }
+  return "?";
+}
+
+ErrorCode classify(const std::exception& e) {
+  if (const auto* coded = dynamic_cast<const CodedError*>(&e)) {
+    return coded->code();
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return ErrorCode::invalid_request;
+  }
+  // The between-pass invariant checker and the "check" pass throw
+  // std::logic_error naming the offending pass.
+  if (dynamic_cast<const std::logic_error*>(&e) != nullptr) {
+    return ErrorCode::check_failed;
+  }
+  return ErrorCode::internal;
+}
+
+}  // namespace mighty::api

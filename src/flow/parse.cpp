@@ -2,6 +2,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "api/error.hpp"
 #include "flow/pipeline.hpp"
 #include "util/thread_pool.hpp"
 
@@ -39,9 +40,12 @@ private:
   /// column survives leading whitespace and multi-character tokens (a count
   /// error must not point past the digits it rejects).
   [[noreturn]] void fail_at(size_t pos, const std::string& what) const {
-    throw std::invalid_argument("flow script error at position " +
-                                std::to_string(pos) + ": " + what + " in \"" +
-                                script_ + '"');
+    // ScriptError derives std::invalid_argument (the documented contract of
+    // Pipeline::parse) and carries ErrorCode::invalid_script for the api
+    // layer and the wire protocol.
+    throw api::ScriptError("flow script error at position " +
+                           std::to_string(pos) + ": " + what + " in \"" +
+                           script_ + '"');
   }
 
   [[noreturn]] void fail(const std::string& what) const { fail_at(pos_, what); }

@@ -23,6 +23,7 @@
 namespace mighty::flow {
 
 class Session;
+struct RunControl;
 
 /// What one primitive pass did: size/depth before and after, effort counters
 /// and wall time.  A FlowReport is the trajectory of these.
@@ -61,6 +62,12 @@ inline double oracle_rate(uint64_t numerator, uint64_t denominator) {
 /// over this run.
 struct FlowReport {
   std::vector<PassStats> passes;
+
+  /// Cancellation / budget control for the run in flight, or nullptr.  Set
+  /// by Pipeline::run and consulted at every pass boundary (composite passes
+  /// recurse through run_into, so enforcement reaches every nesting level).
+  /// Non-owning; only valid for the duration of the run that set it.
+  const RunControl* control = nullptr;
 
   uint32_t size_before = 0;
   uint32_t size_after = 0;

@@ -4,12 +4,55 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "api/error.hpp"
 #include "check/check.hpp"
+#include "flow/control.hpp"
 #include "flow/session.hpp"
 
 namespace mighty::flow {
 
 namespace {
+
+/// Pass-boundary verdict on the run control riding on the report: throws
+/// api::Error with the matching stable code on cancellation or a blown
+/// budget.  The conflict budget is charged per synthesis attempt (successes
+/// and failures both ran the solver) at the session's per-call conflict
+/// limit — the same coin the oracle spends.
+void enforce_run_control(const RunControl* control, const mig::Mig& current,
+                         const FlowReport& report, const Session& session) {
+  if (control == nullptr) return;
+  if (control->cancel.load(std::memory_order_relaxed)) {
+    throw api::Error(api::ErrorCode::cancelled, "flow cancelled");
+  }
+  if (control->has_deadline &&
+      std::chrono::steady_clock::now() >= control->deadline) {
+    throw api::Error(api::ErrorCode::wall_budget_exceeded,
+                     "flow exceeded its wall-clock budget");
+  }
+  if (control->node_budget != 0) {
+    const uint32_t size = current.count_live_gates();
+    if (size > control->node_budget) {
+      throw api::Error(api::ErrorCode::node_budget_exceeded,
+                       "network grew to " + std::to_string(size) +
+                           " gates (budget " +
+                           std::to_string(control->node_budget) + ")");
+    }
+  }
+  if (control->conflict_budget != 0) {
+    uint64_t attempts = 0;
+    for (const auto& pass : report.passes) {
+      attempts += pass.oracle_synthesized + pass.oracle_failures;
+    }
+    const uint64_t spent =
+        attempts * session.params().oracle.synthesis_conflict_limit;
+    if (spent > control->conflict_budget) {
+      throw api::Error(api::ErrorCode::conflict_budget_exceeded,
+                       "flow spent ~" + std::to_string(spent) +
+                           " SAT conflicts (budget " +
+                           std::to_string(control->conflict_budget) + ")");
+    }
+  }
+}
 
 /// A pipeline nested as a single pass: the body of repeat()/until_convergence()
 /// and of parenthesized script groups.
@@ -198,9 +241,10 @@ Pipeline Pipeline::interleave(const std::vector<Pipeline>& phases) {
 }
 
 mig::Mig Pipeline::run(const mig::Mig& mig, Session& session,
-                       FlowReport* report) const {
+                       FlowReport* report, const RunControl* control) const {
   FlowReport local;
   FlowReport& out = report != nullptr ? (*report = FlowReport{}, *report) : local;
+  out.control = control;  // after the reset above, which cleared it
 
   out.size_before = mig.count_live_gates();
   out.depth_before = mig.depth();
@@ -219,8 +263,10 @@ mig::Mig Pipeline::run(const mig::Mig& mig, Session& session,
 mig::Mig Pipeline::run_into(const mig::Mig& mig, Session& session,
                             FlowReport& report) const {
   mig::Mig current = mig;
+  enforce_run_control(report.control, current, report, session);
   for (const auto& pass : passes_) {
     current = pass->run(current, session, report);
+    enforce_run_control(report.control, current, report, session);
     // Between-pass invariant checking: composite passes recurse through
     // run_into, so every intermediate network of every nesting level is
     // covered.  A violation here is a bug in the pass that just ran — stop

@@ -44,6 +44,8 @@
 
 namespace mighty::flow {
 
+struct RunControl;
+
 /// Round cap until_convergence() applies when none is given; the bare "x*"
 /// script form maps to exactly this value.
 inline constexpr uint32_t kDefaultConvergenceRounds = 16;
@@ -110,9 +112,14 @@ public:
 
   /// Runs every pass in order.  When `report` is given it is reset and filled
   /// with the per-pass trajectory, whole-flow totals and the oracle counters
-  /// accumulated during this run.
+  /// accumulated during this run.  When `control` is given, cancellation and
+  /// the node/wall/conflict budgets are enforced at every pass boundary (any
+  /// nesting depth); a violation throws api::Error with the matching code
+  /// (cancelled, node_budget_exceeded, wall_budget_exceeded,
+  /// conflict_budget_exceeded).  `control` must outlive the call.
   mig::Mig run(const mig::Mig& mig, Session& session,
-               FlowReport* report = nullptr) const;
+               FlowReport* report = nullptr,
+               const RunControl* control = nullptr) const;
 
   /// Executes the passes appending their trajectory entries to `report`
   /// without touching its totals — the building block of composite passes

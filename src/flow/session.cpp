@@ -11,9 +11,11 @@ Session::Session(exact::Database db, SessionParams params)
 
 Session::~Session() {
   // Autosave is best effort: destructors must not throw, and losing a save
-  // only costs the next process its warm start, never correctness.
+  // only costs the next process its warm start, never correctness.  Routed
+  // through persist() so a daemon whose signal handler already persisted
+  // does not race (or redundantly rewrite) the same file here.
   try {
-    save_cache();
+    persist();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "warning: oracle cache autosave to %s failed: %s\n",
                  params_.oracle_cache_path.c_str(), e.what());
@@ -73,6 +75,14 @@ opt::ReplacementOracle::CacheLoadResult Session::merge_cache_file() {
 size_t Session::save_cache() {
   if (params_.oracle_cache_path.empty() || !oracle_) return 0;
   return oracle_->save_cache(params_.oracle_cache_path);
+}
+
+size_t Session::persist() {
+  // One mutex serializes every shutdown path (destructor, service shutdown,
+  // SIGTERM) into the same save; the oracle's dirty tracking then turns the
+  // losers of the race into no-ops instead of duplicate writes.
+  const std::lock_guard<std::mutex> lock(persist_mutex_);
+  return save_cache();
 }
 
 void Session::set_threads(uint32_t threads) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -116,6 +117,14 @@ public:
   /// or nothing changed since the last save/load (dirty-entry tracking).
   size_t save_cache();
 
+  /// The single choke point every shutdown path persists through: the
+  /// destructor autosave, api::Service shutdown, and the daemon's SIGTERM
+  /// handler all call this, serialized by an internal mutex so concurrent
+  /// shutdown paths never interleave writes.  Idempotent: the first call
+  /// writes the dirty entries, a repeat with nothing new returns 0 (the
+  /// oracle's dirty tracking makes the save itself a no-op).
+  size_t persist();
+
   // --- parallel execution -----------------------------------------------------
 
   /// Sets the parallelism of subsequent pipeline runs (0 is treated as 1).
@@ -153,6 +162,7 @@ private:
   opt::ReplacementOracle::CacheLoadResult merge_cache_file();
 
   SessionParams params_;
+  std::mutex persist_mutex_;  ///< serializes persist() across shutdown paths
 #ifndef NDEBUG
   CheckLevel check_level_ = CheckLevel::fast;
 #else

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "api/error.hpp"
 #include "io/io.hpp"
 #include "tt/truth_table.hpp"
 
@@ -28,6 +29,26 @@ mig::Signal build_function(mig::Mig& m, const tt::TruthTable& f,
   for (uint32_t v = 0; v < f.num_vars(); ++v) {
     if (f == tt::TruthTable::projection(f.num_vars(), v)) return leaves[v];
     if (f == ~tt::TruthTable::projection(f.num_vars(), v)) return !leaves[v];
+  }
+  // Majority of three (possibly complemented) leaves becomes one gate, so a
+  // write_blif/read_blif round trip reconstructs a MIG gate-for-gate instead
+  // of inflating each gate into its Shannon decomposition.  Eight input
+  // polarity combinations suffice: majority is self-dual, so a complemented
+  // output is some all-complemented input combination.
+  if (f.num_vars() == 3) {
+    const auto p0 = tt::TruthTable::projection(3, 0);
+    const auto p1 = tt::TruthTable::projection(3, 1);
+    const auto p2 = tt::TruthTable::projection(3, 2);
+    for (uint32_t polarity = 0; polarity < 8; ++polarity) {
+      const auto a = (polarity & 1) != 0 ? ~p0 : p0;
+      const auto b = (polarity & 2) != 0 ? ~p1 : p1;
+      const auto c = (polarity & 4) != 0 ? ~p2 : p2;
+      if (f == ((a & b) | (a & c) | (b & c))) {
+        return m.create_maj((polarity & 1) != 0 ? !leaves[0] : leaves[0],
+                            (polarity & 2) != 0 ? !leaves[1] : leaves[1],
+                            (polarity & 4) != 0 ? !leaves[2] : leaves[2]);
+      }
+    }
   }
   // Split on the highest support variable.
   uint32_t var = 0;
@@ -85,7 +106,10 @@ void write_blif(std::ostream& os, const mig::Mig& mig, const std::string& model_
 void write_blif_file(const std::string& path, const mig::Mig& mig,
                      const std::string& model_name) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  if (!os) {
+    throw api::Error(api::ErrorCode::io_error,
+                     "cannot open " + path + " for writing");
+  }
   write_blif(os, mig, model_name);
 }
 
@@ -102,7 +126,10 @@ mig::Mig read_blif(std::istream& is) {
   std::vector<Table> tables;
 
   auto error_at = [](size_t line, const std::string& what) {
-    return std::runtime_error("BLIF line " + std::to_string(line) + ": " + what);
+    // Still a std::runtime_error for pre-taxonomy catch sites, now carrying
+    // the stable code the api layer and wire protocol report.
+    return api::Error(api::ErrorCode::invalid_network,
+                      "BLIF line " + std::to_string(line) + ": " + what);
   };
 
   // Tokenize into logical lines: strip '\r' (CRLF exports), cut '#' comments,
@@ -309,12 +336,15 @@ mig::Mig read_blif(std::istream& is) {
 
 mig::Mig read_blif_file(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open " + path);
+  if (!is) throw api::Error(api::ErrorCode::io_error, "cannot open " + path);
   try {
     return read_blif(is);
-  } catch (const std::runtime_error& e) {
+  } catch (const api::Error& e) {
     // Parse errors carry the line; corpus loads read many files, so name
-    // the file too.
+    // the file too.  Rethrown with the same code — prefixing the path must
+    // not downgrade invalid_network to internal.
+    throw api::Error(e.code(), path + ": " + e.what());
+  } catch (const std::runtime_error& e) {
     throw std::runtime_error(path + ": " + e.what());
   }
 }

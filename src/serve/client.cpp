@@ -1,0 +1,168 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <system_error>
+
+#include "serve/protocol.hpp"
+
+namespace mighty::serve {
+
+namespace {
+
+using api::Error;
+using api::ErrorCode;
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::generic_category().message(errno);
+}
+
+}  // namespace
+
+struct RemoteService::Impl {
+  explicit Impl(const std::string& socket_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+      throw Error(ErrorCode::invalid_request,
+                  "unusable socket path: \"" + socket_path + '"');
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw Error(ErrorCode::io_error, errno_message("socket"));
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      const std::string what = errno_message("connect " + socket_path);
+      ::close(fd_);
+      fd_ = -1;
+      throw Error(ErrorCode::io_error, what);
+    }
+    try {
+      const Frame reply =
+          roundtrip(Tag::hello, encode_hello(kProtocolVersion), Tag::hello_ok);
+      decode_hello(reply.payload);  // validated layout; content is the echo
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
+  }
+
+  ~Impl() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// One request/reply exchange.  Throws the decoded api::Error on an ERROR
+  /// reply, connection_lost when the server vanishes, and unknown_message
+  /// when the reply tag is not the expected one (a protocol break).
+  Frame roundtrip(Tag request, const std::vector<uint8_t>& payload,
+                  Tag expected) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    send_frame(request, payload);
+    const Frame reply = read_frame();
+    if (static_cast<Tag>(reply.tag) == Tag::error) {
+      throw decode_error(reply.payload);
+    }
+    if (static_cast<Tag>(reply.tag) != expected) {
+      throw Error(ErrorCode::unknown_message,
+                  "unexpected reply tag " + std::to_string(reply.tag));
+    }
+    return reply;
+  }
+
+  void send_frame(Tag tag, const std::vector<uint8_t>& payload) {
+    const auto bytes = encode_frame(tag, payload);
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw Error(ErrorCode::connection_lost, errno_message("send"));
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  Frame read_frame() {
+    uint8_t buffer[64 * 1024];
+    for (;;) {
+      if (auto frame = decoder_.next()) return *frame;
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        throw Error(ErrorCode::connection_lost,
+                    n == 0 ? "server closed the connection"
+                           : errno_message("recv"));
+      }
+      decoder_.feed(buffer, static_cast<size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  std::mutex mutex_;  ///< serializes roundtrips: one in flight per client
+  FrameDecoder decoder_;
+};
+
+RemoteService::RemoteService(const std::string& socket_path)
+    : impl_(std::make_unique<Impl>(socket_path)) {}
+
+RemoteService::~RemoteService() = default;
+
+api::JobId RemoteService::submit(const api::JobRequest& request) {
+  const Frame reply =
+      impl_->roundtrip(Tag::submit, encode_submit(request), Tag::submit_ok);
+  return decode_job_id(reply.payload);
+}
+
+api::JobStatus RemoteService::status(api::JobId id) {
+  const Frame reply =
+      impl_->roundtrip(Tag::status, encode_job_id(id), Tag::status_ok);
+  return decode_status_ok(reply.payload);
+}
+
+api::JobResult RemoteService::result(api::JobId id) {
+  const Frame reply =
+      impl_->roundtrip(Tag::result, encode_job_id(id), Tag::result_ok);
+  return decode_result_ok(reply.payload);
+}
+
+bool RemoteService::cancel(api::JobId id) {
+  const Frame reply =
+      impl_->roundtrip(Tag::cancel, encode_job_id(id), Tag::cancel_ok);
+  return decode_cancel_ok(reply.payload);
+}
+
+api::ServiceStats RemoteService::stats() {
+  const Frame reply = impl_->roundtrip(Tag::stats, {}, Tag::stats_ok);
+  return decode_stats_ok(reply.payload);
+}
+
+void RemoteService::shutdown() {
+  impl_->roundtrip(Tag::shutdown, {}, Tag::shutdown_ok);
+}
+
+api::CacheInfo RemoteService::cache_load(const std::string& path) {
+  throw Error(ErrorCode::unsupported,
+              "the daemon owns its cache; cannot load " + path + " remotely");
+}
+
+size_t RemoteService::cache_save(const std::string&) {
+  throw Error(ErrorCode::unsupported, "the daemon owns its cache");
+}
+
+api::CacheInfo RemoteService::cache_stats() {
+  // Cache counters do travel: STATS carries them.
+  const api::ServiceStats stats = this->stats();
+  api::CacheInfo info;
+  info.entries = stats.cache_entries;
+  info.dirty = stats.cache_dirty;
+  return info;
+}
+
+}  // namespace mighty::serve

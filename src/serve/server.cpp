@@ -1,0 +1,279 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace mighty::serve {
+
+namespace {
+
+using api::Error;
+using api::ErrorCode;
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::generic_category().message(errno);
+}
+
+/// Writes the whole buffer; MSG_NOSIGNAL so a vanished peer surfaces as
+/// EPIPE instead of killing the process.  Returns false when the peer is
+/// gone (the caller just drops the connection).
+bool send_all(int fd, const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  Impl(api::Service& service, ServerParams params)
+      : service_(service), params_(std::move(params)) {
+    if (params_.socket_path.empty()) {
+      throw Error(ErrorCode::invalid_request, "server needs a socket path");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (params_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw Error(ErrorCode::invalid_request,
+                  "socket path too long: " + params_.socket_path);
+    }
+    std::memcpy(addr.sun_path, params_.socket_path.c_str(),
+                params_.socket_path.size() + 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      throw Error(ErrorCode::io_error, errno_message("socket"));
+    }
+    // A previous daemon instance that died hard leaves its socket file
+    // behind; binding over it is the expected restart path.
+    ::unlink(params_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listen_fd_, 64) < 0) {
+      const std::string what = errno_message("bind " + params_.socket_path);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw Error(ErrorCode::io_error, what);
+    }
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~Impl() { stop(); }
+
+  void stop() {
+    stopping_.store(true);
+    {
+      // Serializes concurrent stop() calls: the second caller blocks here
+      // until the first finished joining, then finds nothing left to do.
+      const std::lock_guard<std::mutex> lock(join_mutex_);
+      if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+      }
+      if (accept_thread_.joinable()) accept_thread_.join();
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        ::unlink(params_.socket_path.c_str());
+      }
+      std::vector<std::unique_ptr<Connection>> connections;
+      {
+        const std::lock_guard<std::mutex> conn_lock(connections_mutex_);
+        connections.swap(connections_);
+      }
+      for (auto& connection : connections) {
+        ::shutdown(connection->fd, SHUT_RDWR);  // unblocks recv()
+      }
+      for (auto& connection : connections) {
+        if (connection->thread.joinable()) connection->thread.join();
+        ::close(connection->fd);
+      }
+    }
+  }
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener was shut down (or broke); stop() cleans up
+      }
+      if (stopping_.load()) {
+        ::close(fd);
+        return;
+      }
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      reap_finished_locked();
+      auto connection = std::make_unique<Connection>();
+      connection->fd = fd;
+      Connection* raw = connection.get();
+      connections_.push_back(std::move(connection));
+      raw->thread = std::thread([this, raw] {
+        serve_connection(raw->fd);
+        // Half-close so the peer sees EOF now, not at server stop; the fd
+        // itself is closed by the reaper or stop() after the join (closing
+        // here would race a concurrent stop() into reusing the fd number).
+        ::shutdown(raw->fd, SHUT_RDWR);
+        raw->finished.store(true);
+      });
+    }
+  }
+
+  /// Joins and closes connections whose handler has returned, so a
+  /// long-lived daemon's fd table is bounded by *live* clients, not by every
+  /// client it ever served.  Caller holds connections_mutex_.
+  void reap_finished_locked() {
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if ((*it)->finished.load()) {
+        (*it)->thread.join();
+        ::close((*it)->fd);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  bool reply(int fd, Tag tag, const std::vector<uint8_t>& payload) {
+    return send_all(fd, encode_frame(tag, payload));
+  }
+
+  bool reply_error(int fd, ErrorCode code, const std::string& message) {
+    return reply(fd, Tag::error, encode_error(code, message));
+  }
+
+  void serve_connection(int fd) {
+    FrameDecoder decoder;
+    bool hello_done = false;
+    std::vector<uint8_t> buffer(64 * 1024);
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // peer closed (or stop() shut the socket down)
+      try {
+        decoder.feed(buffer.data(), static_cast<size_t>(n));
+        std::optional<Frame> frame;
+        while ((frame = decoder.next())) {
+          if (!handle_frame(fd, *frame, hello_done)) return;
+        }
+      } catch (const std::exception& e) {
+        // A framing violation (oversized declared length) poisons the byte
+        // stream — nothing after it can be trusted, so report and hang up.
+        reply_error(fd, api::classify(e), e.what());
+        return;
+      }
+    }
+  }
+
+  /// Returns false when the connection should close.
+  bool handle_frame(int fd, const Frame& frame, bool& hello_done) {
+    const Tag tag = static_cast<Tag>(frame.tag);
+    if (!hello_done) {
+      if (tag != Tag::hello) {
+        reply_error(fd, ErrorCode::invalid_request,
+                    "the first frame must be HELLO");
+        return false;
+      }
+      const uint32_t version = decode_hello(frame.payload);
+      if (version != kProtocolVersion) {
+        reply_error(fd, ErrorCode::version_mismatch,
+                    "client speaks protocol " + std::to_string(version) +
+                        ", server speaks " + std::to_string(kProtocolVersion));
+        return false;
+      }
+      hello_done = true;
+      return reply(fd, Tag::hello_ok, encode_hello(kProtocolVersion));
+    }
+    if (shutdown_requested_.load()) {
+      // One client asked the daemon to stop; refusing everything afterwards
+      // (including a second SHUTDOWN) keeps the wind-down deterministic.
+      reply_error(fd, ErrorCode::shutting_down, "server is shutting down");
+      return tag != Tag::shutdown;
+    }
+    try {
+      switch (tag) {
+        case Tag::hello:
+          return reply(fd, Tag::hello_ok, encode_hello(kProtocolVersion));
+        case Tag::submit:
+          return reply(fd, Tag::submit_ok,
+                       encode_job_id(service_.submit(decode_submit(frame.payload))));
+        case Tag::status:
+          return reply(fd, Tag::status_ok,
+                       encode_status_ok(service_.status(decode_job_id(frame.payload))));
+        case Tag::result:
+          return reply(fd, Tag::result_ok,
+                       encode_result_ok(service_.result(decode_job_id(frame.payload))));
+        case Tag::cancel:
+          return reply(fd, Tag::cancel_ok,
+                       encode_cancel_ok(service_.cancel(decode_job_id(frame.payload))));
+        case Tag::stats:
+          return reply(fd, Tag::stats_ok, encode_stats_ok(service_.stats()));
+        case Tag::shutdown: {
+          if (shutdown_requested_.exchange(true)) {
+            reply_error(fd, ErrorCode::shutting_down, "server is shutting down");
+            return false;
+          }
+          reply(fd, Tag::shutdown_ok, {});
+          if (params_.on_shutdown_request) params_.on_shutdown_request();
+          return false;  // the requester's conversation is over
+        }
+        default:
+          // Unknown tags are survivable: the frame boundary is intact, so
+          // answer and keep listening (a newer client probing an optional
+          // message must not lose its connection).
+          return reply_error(fd, ErrorCode::unknown_message,
+                             "unknown frame tag " + std::to_string(frame.tag));
+      }
+    } catch (const std::exception& e) {
+      // Service-level failures (bad script, unknown job, shutting down...)
+      // belong to this request only; the connection stays up.
+      return reply_error(fd, api::classify(e), e.what());
+    }
+  }
+
+  api::Service& service_;
+  ServerParams params_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex join_mutex_;
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+Server::Server(api::Service& service, ServerParams params)
+    : impl_(std::make_unique<Impl>(service, std::move(params))) {}
+
+Server::~Server() { stop(); }
+
+void Server::stop() { impl_->stop(); }
+
+const std::string& Server::socket_path() const { return impl_->params_.socket_path; }
+
+}  // namespace mighty::serve

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "api/api.hpp"
+
+/// \file server.hpp
+/// \brief The mighty-serve connection layer: a unix-domain-socket front end
+/// for any api::Service.
+///
+/// The server owns the listening socket and one thread per connection; all
+/// optimization work happens in the Service's own job workers, so a slow job
+/// never blocks another client's frames.  Request handling is a thin
+/// translation loop: decode frame -> Service call -> encode reply, with every
+/// exception mapped to an ERROR frame carrying its stable code
+/// (api::classify), so a protocol-level mistake can never crash the daemon.
+///
+/// Shutdown discipline (the daemon relies on this order): a SHUTDOWN frame
+/// acknowledges, flips the server into shutting_down (every later request is
+/// refused with that code) and invokes ServerParams::on_shutdown_request —
+/// it does NOT stop the server itself.  The owner then calls
+/// Service::shutdown() first (which wakes any connection blocked in
+/// result()) and Server::stop() second (which unblocks recv/accept and joins
+/// the threads).  Stopping first would deadlock on a connection waiting for
+/// a running job.
+
+namespace mighty::serve {
+
+struct ServerParams {
+  std::string socket_path;
+  /// Invoked (once) when a client requests SHUTDOWN, after the reply is
+  /// sent.  Called from a connection thread: do not call Server::stop()
+  /// directly from it — signal the owner's main loop instead (the daemon
+  /// writes its self-pipe here, same as SIGTERM).
+  std::function<void()> on_shutdown_request;
+};
+
+class Server {
+ public:
+  /// Binds and listens on params.socket_path (replacing a stale socket
+  /// file) and starts accepting.  Throws api::Error(io_error) when the
+  /// socket cannot be set up.  `service` must outlive the server.
+  Server(api::Service& service, ServerParams params);
+  ~Server();  ///< stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Stops accepting, unblocks and joins every connection thread, and
+  /// removes the socket file.  Idempotent.
+  void stop();
+
+  const std::string& socket_path() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mighty::serve

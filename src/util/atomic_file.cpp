@@ -6,6 +6,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "api/error.hpp"
+
 #if defined(_WIN32)
 #include <process.h>
 #else
@@ -41,10 +43,14 @@ void write_file_atomically(const std::string& path,
   const std::string tmp = unique_tmp_name(path);
   try {
     std::ofstream os(tmp, std::ios::trunc);
-    if (!os) throw std::runtime_error("cannot write file " + tmp);
+    if (!os) {
+      throw api::Error(api::ErrorCode::io_error, "cannot write file " + tmp);
+    }
     write(os);
     os.flush();
-    if (!os) throw std::runtime_error("write failed for " + tmp);
+    if (!os) {
+      throw api::Error(api::ErrorCode::io_error, "write failed for " + tmp);
+    }
   } catch (...) {
     // Also covers a throwing `write` callback: no stray temporaries.
     std::error_code ec;
@@ -56,8 +62,9 @@ void write_file_atomically(const std::string& path,
   if (ec) {
     std::error_code ignore;
     std::filesystem::remove(tmp, ignore);
-    throw std::runtime_error("cannot rename " + tmp + " over " + path + ": " +
-                             ec.message());
+    throw api::Error(api::ErrorCode::io_error, "cannot rename " + tmp +
+                                                   " over " + path + ": " +
+                                                   ec.message());
   }
 }
 
