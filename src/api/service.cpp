@@ -1,10 +1,7 @@
 #include "api/api.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
-#include <shared_mutex>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -13,6 +10,7 @@
 #include "flow/control.hpp"
 #include "flow/pipeline.hpp"
 #include "io/io.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mighty::api {
@@ -41,6 +39,9 @@ struct LocalService::Impl {
   explicit Impl(Params params) : params_(std::move(params)), session_(params_.session) {
     params_.job_workers = std::clamp<uint32_t>(params_.job_workers, 1,
                                                util::ThreadPool::kMaxParallelism);
+    // The spawned workers immediately contend on mutex_ in worker_loop, so
+    // holding it while filling workers_ only delays their first queue check.
+    util::MutexLock lock(mutex_);
     workers_.reserve(params_.job_workers);
     for (uint32_t i = 0; i < params_.job_workers; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
@@ -51,7 +52,7 @@ struct LocalService::Impl {
     // Parse before taking the lock: a bad script is the submitter's error
     // and reports synchronously (ScriptError -> invalid_script).
     flow::Pipeline pipeline = flow::Pipeline::parse(request.script);
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stopping_) {
       throw Error(ErrorCode::shutting_down, "service is shutting down");
     }
@@ -73,19 +74,19 @@ struct LocalService::Impl {
   }
 
   JobStatus status(JobId id) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return JobStatus{find_locked(id)->state};
   }
 
   JobResult result(JobId id) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto job = find_locked(id);
-    done_cv_.wait(lock, [&] { return is_terminal(job->state); });
+    while (!is_terminal(job->state)) done_cv_.wait(lock);
     return job->result;
   }
 
   bool cancel(JobId id) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto job = find_locked(id);
     if (is_terminal(job->state)) return false;
     if (job->state == JobState::queued) {
@@ -102,7 +103,7 @@ struct LocalService::Impl {
   ServiceStats stats() {
     ServiceStats s;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       s.submitted = submitted_;
       s.completed = completed_;
       s.failed = failed_;
@@ -126,7 +127,7 @@ struct LocalService::Impl {
   void shutdown() {
     std::vector<std::thread> workers;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       stopping_ = true;
       for (auto& job : queue_) {
         finalize_locked(*job, JobState::cancelled,
@@ -146,7 +147,7 @@ struct LocalService::Impl {
   }
 
   CacheInfo cache_load(const std::string& path) {
-    const std::unique_lock<std::shared_mutex> lock(session_rw_);
+    const util::WriterLock lock(session_rw_);
     if (!path.empty()) session_.set_cache_path(path);
     if (session_.cache_path().empty()) {
       throw Error(ErrorCode::invalid_request, "no cache path set");
@@ -170,7 +171,7 @@ struct LocalService::Impl {
   }
 
   size_t cache_save(const std::string& path) {
-    const std::unique_lock<std::shared_mutex> lock(session_rw_);
+    const util::WriterLock lock(session_rw_);
     if (!path.empty()) session_.set_cache_path(path);
     if (session_.cache_path().empty()) {
       throw Error(ErrorCode::invalid_request, "no cache path set");
@@ -196,8 +197,8 @@ struct LocalService::Impl {
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        util::MutexLock lock(mutex_);
+        while (!stopping_ && queue_.empty()) queue_cv_.wait(lock);
         if (queue_.empty()) return;  // only true here when stopping
         job = queue_.front();
         queue_.pop_front();
@@ -217,10 +218,10 @@ struct LocalService::Impl {
       if (job.pipeline.uses_oracle() && session_.oracle_if_created() == nullptr) {
         // Lazy oracle/database init is single-threaded by design; take the
         // session exclusively for the first materialization.
-        const std::unique_lock<std::shared_mutex> init(session_rw_);
+        const util::WriterLock init(session_rw_);
         if (job.pipeline.uses_oracle()) session_.oracle();
       }
-      const std::shared_lock<std::shared_mutex> run(session_rw_);
+      const util::SharedLock run(session_rw_);
       job.control.arm_deadline(job.request.wall_budget_seconds);
       job.control.node_budget = job.request.node_budget;
       job.control.conflict_budget = job.request.conflict_budget;
@@ -241,14 +242,14 @@ struct LocalService::Impl {
                            : res.code == ErrorCode::cancelled
                                ? JobState::cancelled
                                : JobState::failed;
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     --running_;
     finalize_locked(job, state, std::move(res));
   }
 
-  // --- helpers (mutex_ held) --------------------------------------------------
+  // --- helpers (mutex_ held, enforced by MIGHTY_REQUIRES) ---------------------
 
-  std::shared_ptr<Job> find_locked(JobId id) {
+  std::shared_ptr<Job> find_locked(JobId id) MIGHTY_REQUIRES(mutex_) {
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) {
       throw Error(ErrorCode::job_not_found, "no job " + std::to_string(id));
@@ -256,7 +257,7 @@ struct LocalService::Impl {
     return it->second;
   }
 
-  void finalize_locked(Job& job, JobState state, JobResult result) {
+  void finalize_locked(Job& job, JobState state, JobResult result) MIGHTY_REQUIRES(mutex_) {
     job.state = state;
     job.result = std::move(result);
     if (state == JobState::done) ++completed_;
@@ -269,21 +270,25 @@ struct LocalService::Impl {
   flow::Session session_;
   /// Jobs hold this shared while running; the one-time oracle
   /// materialization and the cache commands take it exclusively.
-  std::shared_mutex session_rw_;
+  util::SharedMutex session_rw_{util::LockRank::api_service_session};
 
-  std::mutex mutex_;
-  std::condition_variable queue_cv_;  ///< workers wait for work / stop
-  std::condition_variable done_cv_;   ///< result() waits for terminal states
-  std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
-  std::deque<std::shared_ptr<Job>> queue_;
-  std::vector<std::thread> workers_;
-  JobId next_id_ = 1;
-  bool stopping_ = false;
-  uint64_t submitted_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t cancelled_ = 0;
-  uint64_t running_ = 0;
+  util::Mutex mutex_{util::LockRank::api_service_jobs};
+  util::CondVar queue_cv_;  ///< workers wait for work / stop
+  util::CondVar done_cv_;   ///< result() waits for terminal states
+  // A Job's state/result are guarded by mutex_ too, but through the
+  // shared_ptr in jobs_ — a per-field annotation cannot name the guard from
+  // inside the nested struct, so the contract is enforced at the access
+  // sites: only *_locked helpers and lock-holding scopes touch them.
+  std::unordered_map<JobId, std::shared_ptr<Job>> jobs_ MIGHTY_GUARDED_BY(mutex_);
+  std::deque<std::shared_ptr<Job>> queue_ MIGHTY_GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_ MIGHTY_GUARDED_BY(mutex_);
+  JobId next_id_ MIGHTY_GUARDED_BY(mutex_) = 1;
+  bool stopping_ MIGHTY_GUARDED_BY(mutex_) = false;
+  uint64_t submitted_ MIGHTY_GUARDED_BY(mutex_) = 0;
+  uint64_t completed_ MIGHTY_GUARDED_BY(mutex_) = 0;
+  uint64_t failed_ MIGHTY_GUARDED_BY(mutex_) = 0;
+  uint64_t cancelled_ MIGHTY_GUARDED_BY(mutex_) = 0;
+  uint64_t running_ MIGHTY_GUARDED_BY(mutex_) = 0;
 };
 
 LocalService::LocalService() : LocalService(Params{}) {}

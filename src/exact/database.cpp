@@ -115,7 +115,7 @@ Database::LookupResult Database::lookup(const tt::TruthTable& f) const {
   }
   LookupStripe& stripe = lookup_stripe(f4.bits());
   {
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    util::MutexLock lock(stripe.mutex);
     if (const auto cached = stripe.map.find(f4.bits()); cached != stripe.map.end()) {
       return cached->second;
     }
@@ -129,7 +129,7 @@ Database::LookupResult Database::lookup(const tt::TruthTable& f) const {
     throw std::logic_error("NPN class missing from database");  // cannot happen when complete
   }
   const LookupResult result{&entries_[it->second], canon.transform};
-  std::lock_guard<std::mutex> lock(stripe.mutex);
+  util::MutexLock lock(stripe.mutex);
   stripe.map.emplace(f4.bits(), result);
   return result;
 }

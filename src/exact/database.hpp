@@ -3,7 +3,6 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "exact/exact_synthesis.hpp"
 #include "npn/npn.hpp"
 #include "tt/truth_table.hpp"
+#include "util/mutex.hpp"
 
 /// \file database.hpp
 /// \brief The precomputed database of minimum MIGs for all 222 NPN classes of
@@ -110,8 +110,8 @@ private:
   /// (it is pure), and a racing duplicate insert is harmlessly dropped by
   /// emplace.  Results are returned by value, never by reference into a map.
   struct LookupStripe {
-    std::mutex mutex;
-    std::unordered_map<uint64_t, LookupResult> map;
+    util::Mutex mutex{util::LockRank::db_lookup_stripe};
+    std::unordered_map<uint64_t, LookupResult> map MIGHTY_GUARDED_BY(mutex);
   };
   static constexpr size_t kLookupStripes = 64;
   mutable std::array<LookupStripe, kLookupStripes> lookup_cache_;
@@ -121,7 +121,7 @@ private:
   }
   void clear_lookup_cache() {
     for (auto& stripe : lookup_cache_) {
-      std::lock_guard<std::mutex> lock(stripe.mutex);
+      util::MutexLock lock(stripe.mutex);
       stripe.map.clear();
     }
   }

@@ -81,7 +81,7 @@ size_t Session::persist() {
   // One mutex serializes every shutdown path (destructor, service shutdown,
   // SIGTERM) into the same save; the oracle's dirty tracking then turns the
   // losers of the race into no-ops instead of duplicate writes.
-  const std::lock_guard<std::mutex> lock(persist_mutex_);
+  const util::MutexLock lock(persist_mutex_);
   return save_cache();
 }
 

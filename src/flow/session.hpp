@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
@@ -10,6 +9,7 @@
 #include "exact/exact_synthesis.hpp"
 #include "flow/executor.hpp"
 #include "opt/oracle.hpp"
+#include "util/mutex.hpp"
 
 /// \file session.hpp
 /// \brief Shared state for optimization flows.
@@ -162,7 +162,8 @@ private:
   opt::ReplacementOracle::CacheLoadResult merge_cache_file();
 
   SessionParams params_;
-  std::mutex persist_mutex_;  ///< serializes persist() across shutdown paths
+  /// Serializes persist() across shutdown paths.
+  util::Mutex persist_mutex_{util::LockRank::flow_session_persist};
 #ifndef NDEBUG
   CheckLevel check_level_ = CheckLevel::fast;
 #else

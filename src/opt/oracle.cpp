@@ -51,7 +51,7 @@ const exact::MigChain* ReplacementOracle::five_input_chain(const tt::TruthTable&
   // function would otherwise both pay the SAT solver, and the hit/synthesis
   // counters would depend on thread interleaving.  Functions in other
   // stripes proceed unhindered.
-  std::lock_guard<std::mutex> lock(stripe.mutex);
+  util::MutexLock lock(stripe.mutex);
   const auto it = stripe.map.find(key);
   bool retry = false;
   if (it != stripe.map.end()) {
@@ -135,7 +135,7 @@ std::optional<ReplacementOracle::Info> ReplacementOracle::query(const tt::TruthT
 ReplacementOracle::CacheStats ReplacementOracle::cache_stats() const {
   CacheStats stats;
   for (const auto& stripe : cache5_) {
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    util::MutexLock lock(stripe.mutex);
     stats.entries += stripe.map.size();
     for (const auto& [key, entry] : stripe.map) {
       (void)key;
@@ -232,7 +232,7 @@ ReplacementOracle::CacheLoadResult ReplacementOracle::load_cache_stream(
   CacheLoadResult result{CacheLoadStatus::loaded, parsed.size(), 0};
   for (auto& [key, disk] : parsed) {
     CacheStripe& stripe = stripe_for(key);
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    util::MutexLock lock(stripe.mutex);
     const auto it = stripe.map.find(key);
     if (it == stripe.map.end()) {
       stripe.map.emplace(key, std::move(disk));
@@ -260,11 +260,11 @@ ReplacementOracle::CacheLoadResult ReplacementOracle::load_cache_stream(
   // "path X holds this cache" claim, and a no-op load leaves it intact.
   size_t total = 0;
   for (auto& stripe : cache5_) {
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    util::MutexLock lock(stripe.mutex);
     total += stripe.map.size();
   }
   {
-    std::lock_guard<std::mutex> lock(persist_mutex_);
+    util::MutexLock lock(persist_mutex_);
     if (!path.empty() && result.adopted == result.entries && total == result.entries) {
       persisted_path_ = path;
     } else if (result.adopted > 0) {
@@ -282,7 +282,7 @@ size_t ReplacementOracle::save_cache(const std::string& path) {
   std::vector<std::pair<uint64_t, CacheEntry>> snapshot;
   size_t dirty = 0;
   for (auto& stripe : cache5_) {
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    util::MutexLock lock(stripe.mutex);
     for (const auto& [key, entry] : stripe.map) {
       if (entry.dirty) ++dirty;
       snapshot.emplace_back(key, entry);
@@ -293,7 +293,7 @@ size_t ReplacementOracle::save_cache(const std::string& path) {
   // target path always gets a write — its current contents are unknown and
   // skipping would silently keep a stale file there.
   {
-    std::lock_guard<std::mutex> lock(persist_mutex_);
+    util::MutexLock lock(persist_mutex_);
     if (dirty == 0 && path == persisted_path_ && std::ifstream(path).good()) return 0;
   }
   std::sort(snapshot.begin(), snapshot.end(),
@@ -314,7 +314,7 @@ size_t ReplacementOracle::save_cache(const std::string& path) {
   // Entries mutated since the snapshot keep their dirty bit because their
   // content no longer matches the snapshot's.
   for (auto& stripe : cache5_) {
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    util::MutexLock lock(stripe.mutex);
     for (auto& [key, entry] : stripe.map) {
       const auto it = std::lower_bound(
           snapshot.begin(), snapshot.end(), key,
@@ -326,7 +326,7 @@ size_t ReplacementOracle::save_cache(const std::string& path) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(persist_mutex_);
+    util::MutexLock lock(persist_mutex_);
     persisted_path_ = path;
   }
   return snapshot.size();

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstddef>
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "exact/database.hpp"
 #include "mig/mig.hpp"
 #include "tt/truth_table.hpp"
+#include "util/mutex.hpp"
 
 /// \file oracle.hpp
 /// \brief Uniform replacement oracle for the rewriting drivers.
@@ -189,8 +189,8 @@ private:
   /// shard contention negligible while a per-stripe lock makes "look up or
   /// synthesize" a single atomic step.
   struct CacheStripe {
-    mutable std::mutex mutex;  ///< cache_stats() locks from a const context
-    std::unordered_map<uint64_t, CacheEntry> map;
+    mutable util::Mutex mutex{util::LockRank::oracle_stripe};  ///< cache_stats() locks from const
+    std::unordered_map<uint64_t, CacheEntry> map MIGHTY_GUARDED_BY(mutex);
   };
   static constexpr size_t kCacheStripes = 16;
 
@@ -212,8 +212,8 @@ private:
   /// wholesale; cleared when a load changes memory without that guarantee.
   /// Together with the dirty bits this gates save_cache's clean-skip, so a
   /// save to a *different* path never silently keeps a stale file.
-  std::string persisted_path_;
-  std::mutex persist_mutex_;
+  std::string persisted_path_ MIGHTY_GUARDED_BY(persist_mutex_);
+  util::Mutex persist_mutex_{util::LockRank::oracle_persist};
   std::atomic<uint64_t> synthesized_{0};
   std::atomic<uint64_t> failures_{0};
   std::atomic<uint64_t> queries_{0};

@@ -6,10 +6,10 @@
 
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 #include <system_error>
 
 #include "serve/protocol.hpp"
+#include "util/mutex.hpp"
 
 namespace mighty::serve {
 
@@ -62,7 +62,7 @@ struct RemoteService::Impl {
   /// when the reply tag is not the expected one (a protocol break).
   Frame roundtrip(Tag request, const std::vector<uint8_t>& payload,
                   Tag expected) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     send_frame(request, payload);
     const Frame reply = read_frame();
     if (static_cast<Tag>(reply.tag) == Tag::error) {
@@ -75,7 +75,7 @@ struct RemoteService::Impl {
     return reply;
   }
 
-  void send_frame(Tag tag, const std::vector<uint8_t>& payload) {
+  void send_frame(Tag tag, const std::vector<uint8_t>& payload) MIGHTY_REQUIRES(mutex_) {
     const auto bytes = encode_frame(tag, payload);
     size_t sent = 0;
     while (sent < bytes.size()) {
@@ -89,7 +89,7 @@ struct RemoteService::Impl {
     }
   }
 
-  Frame read_frame() {
+  Frame read_frame() MIGHTY_REQUIRES(mutex_) {
     uint8_t buffer[64 * 1024];
     for (;;) {
       if (auto frame = decoder_.next()) return *frame;
@@ -105,8 +105,9 @@ struct RemoteService::Impl {
   }
 
   int fd_ = -1;
-  std::mutex mutex_;  ///< serializes roundtrips: one in flight per client
-  FrameDecoder decoder_;
+  /// Serializes roundtrips: one in flight per client.
+  util::Mutex mutex_{util::LockRank::serve_client};
+  FrameDecoder decoder_ MIGHTY_GUARDED_BY(mutex_);
 };
 
 RemoteService::RemoteService(const std::string& socket_path)

@@ -7,12 +7,12 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 #include <system_error>
 #include <thread>
 #include <vector>
 
 #include "serve/protocol.hpp"
+#include "util/mutex.hpp"
 
 namespace mighty::serve {
 
@@ -84,7 +84,7 @@ struct Server::Impl {
     {
       // Serializes concurrent stop() calls: the second caller blocks here
       // until the first finished joining, then finds nothing left to do.
-      const std::lock_guard<std::mutex> lock(join_mutex_);
+      const util::MutexLock lock(join_mutex_);
       if (listen_fd_ >= 0) {
         ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
       }
@@ -96,7 +96,7 @@ struct Server::Impl {
       }
       std::vector<std::unique_ptr<Connection>> connections;
       {
-        const std::lock_guard<std::mutex> conn_lock(connections_mutex_);
+        const util::MutexLock conn_lock(connections_mutex_);
         connections.swap(connections_);
       }
       for (auto& connection : connections) {
@@ -126,7 +126,7 @@ struct Server::Impl {
         ::close(fd);
         return;
       }
-      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      const util::MutexLock lock(connections_mutex_);
       reap_finished_locked();
       auto connection = std::make_unique<Connection>();
       connection->fd = fd;
@@ -145,8 +145,8 @@ struct Server::Impl {
 
   /// Joins and closes connections whose handler has returned, so a
   /// long-lived daemon's fd table is bounded by *live* clients, not by every
-  /// client it ever served.  Caller holds connections_mutex_.
-  void reap_finished_locked() {
+  /// client it ever served.  Caller holds connections_mutex_ (enforced).
+  void reap_finished_locked() MIGHTY_REQUIRES(connections_mutex_) {
     auto it = connections_.begin();
     while (it != connections_.end()) {
       if ((*it)->finished.load()) {
@@ -258,11 +258,16 @@ struct Server::Impl {
 
   api::Service& service_;
   ServerParams params_;
+  /// Written only by the constructor and by stop() under join_mutex_; the
+  /// accept loop reads it concurrently, which is safe because stop() shuts
+  /// the socket down (unblocking accept) before closing and clearing it.
+  /// Not annotated: the constructor cannot hold the lock it initializes.
   int listen_fd_ = -1;
   std::thread accept_thread_;
-  std::mutex join_mutex_;
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  /// Outermost rank: stop() acquires connections_mutex_ while holding it.
+  util::Mutex join_mutex_{util::LockRank::serve_server_join};
+  util::Mutex connections_mutex_{util::LockRank::serve_server_connections};
+  std::vector<std::unique_ptr<Connection>> connections_ MIGHTY_GUARDED_BY(connections_mutex_);
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_requested_{false};
 };

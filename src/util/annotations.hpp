@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file annotations.hpp
+/// \brief Clang thread-safety analysis attributes behind MIGHTY_ macros.
+///
+/// These wrap the capability attributes of Clang's `-Wthread-safety` static
+/// analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the
+/// locking contracts of the concurrent layers — which mutex guards which
+/// data, which functions require which locks, in what order locks nest — are
+/// declared in the types and checked at compile time by the dedicated CI leg
+/// (`-Wthread-safety -Wthread-safety-beta -Werror`).  Under any non-Clang
+/// compiler every macro expands to nothing, so the annotations cost exactly
+/// zero everywhere else.
+///
+/// Conventions (see docs/concurrency.md for the full contract):
+///
+///  * lock types (util::Mutex, util::SharedMutex) are `MIGHTY_CAPABILITY`;
+///    scoped lock wrappers are `MIGHTY_SCOPED_CAPABILITY`;
+///  * data is declared with `MIGHTY_GUARDED_BY(mutex)` next to the mutex
+///    that protects it;
+///  * `_locked`-suffixed helpers carry `MIGHTY_REQUIRES(mutex)` so a caller
+///    that forgot the lock fails to compile;
+///  * a pattern the analysis genuinely cannot express gets
+///    `MIGHTY_NO_THREAD_SAFETY_ANALYSIS` with a one-line reason beside it —
+///    never silently.
+
+#if defined(__clang__)
+#define MIGHTY_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MIGHTY_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no analysis
+#endif
+
+/// Marks a type as a capability (a lock).  The string names the capability
+/// kind in diagnostics: "mutex" reads naturally in warning text.
+#define MIGHTY_CAPABILITY(x) MIGHTY_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (util::MutexLock and friends).
+#define MIGHTY_SCOPED_CAPABILITY MIGHTY_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define MIGHTY_GUARDED_BY(x) MIGHTY_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define MIGHTY_PT_GUARDED_BY(x) MIGHTY_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declared lock-ordering edges, enforced under -Wthread-safety-beta: this
+/// mutex must be acquired before/after the listed ones.  The runtime
+/// lock-order graph in util::Mutex checks the same property dynamically in
+/// Debug builds; these attributes make the documented hierarchy part of the
+/// compile-time contract where the nesting is static.
+#define MIGHTY_ACQUIRED_BEFORE(...) MIGHTY_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MIGHTY_ACQUIRED_AFTER(...) MIGHTY_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the given mutex(es)
+/// exclusively / shared.
+#define MIGHTY_REQUIRES(...) MIGHTY_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MIGHTY_REQUIRES_SHARED(...) \
+  MIGHTY_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the given mutex(es) and does not release them
+/// before returning (no argument = the enclosing capability/scoped object).
+#define MIGHTY_ACQUIRE(...) MIGHTY_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MIGHTY_ACQUIRE_SHARED(...) \
+  MIGHTY_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the given mutex(es), which must be held on entry.
+/// The no-argument form on a scoped wrapper releases whatever it manages,
+/// exclusive or shared.
+#define MIGHTY_RELEASE(...) MIGHTY_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MIGHTY_RELEASE_SHARED(...) \
+  MIGHTY_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts the lock and returns `x` on success.
+#define MIGHTY_TRY_ACQUIRE(...) MIGHTY_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the given mutex(es)
+/// (deadlock documentation for self-locking entry points).
+#define MIGHTY_EXCLUDES(...) MIGHTY_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis the given capability is held here without acquiring
+/// it (used by Mutex::assert_held, which additionally verifies the claim at
+/// runtime in Debug builds).
+#define MIGHTY_ASSERT_CAPABILITY(x) MIGHTY_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define MIGHTY_RETURN_CAPABILITY(x) MIGHTY_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis.  Every use carries a comment
+/// explaining why the pattern is not expressible — the negative-compile
+/// tests in tests/annotations_negative/ prove the analysis itself works, so
+/// an unexplained opt-out is a review failure, not a convenience.
+#define MIGHTY_NO_THREAD_SAFETY_ANALYSIS \
+  MIGHTY_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(uint32_t parallelism) {
     // already spawned before rethrowing, or unwinding would destroy
     // joinable std::threads and terminate the process.
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stop_ = true;
     }
     wake_.notify_all();
@@ -29,14 +29,16 @@ ThreadPool::ThreadPool(uint32_t parallelism) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
   for (auto& worker : workers_) worker.join();
   // Anything still queued is a stale parallel_for driver whose job already
   // completed (parallel_for and TaskGroup::wait return only when their work
-  // is done); dropping it merely releases the job's shared state.
+  // is done); dropping it merely releases the job's shared state.  Workers
+  // are gone, but the queue keeps its guarded-by contract.
+  MutexLock lock(mutex_);
   queue_.clear();
 }
 
@@ -50,7 +52,7 @@ void ThreadPool::drain(ForJob& job) {
         (*job.fn)(i);
       } catch (...) {
         job.failed.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(job.mutex);
+        MutexLock lock(job.mutex);
         if (!job.error) job.error = std::current_exception();
       }
     }
@@ -58,7 +60,7 @@ void ThreadPool::drain(ForJob& job) {
       // Empty critical section: the waiter must be either inside its
       // predicate check or asleep when the notification fires, never between
       // the two, or the wakeup would be lost.
-      { std::lock_guard<std::mutex> lock(job.mutex); }
+      { MutexLock barrier(job.mutex); }
       job.done.notify_all();
     }
   }
@@ -66,16 +68,16 @@ void ThreadPool::drain(ForJob& job) {
 
 void ThreadPool::enqueue(std::vector<std::function<void()>> tasks) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& task : tasks) queue_.push_back(std::move(task));
   }
   wake_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
-    wake_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) wake_.wait(lock);
     if (stop_) return;
     auto task = std::move(queue_.front());
     queue_.pop_front();
@@ -105,21 +107,26 @@ void ThreadPool::parallel_for(size_t count, const std::function<void(size_t)>& f
   }
   enqueue(std::move(tasks));
   drain(*job);
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->done.wait(lock, [&] {
-    return job->finished.load(std::memory_order_acquire) == job->count;
-  });
-  if (job->error) {
-    auto error = std::move(job->error);
-    job->error = nullptr;
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(job->mutex);
+    while (job->finished.load(std::memory_order_acquire) != job->count) {
+      job->done.wait(lock);
+    }
+    if (job->error) {
+      error = std::move(job->error);
+      job->error = nullptr;
+    }
   }
+  if (error) std::rethrow_exception(error);
 }
 
 // --- TaskGroup ---------------------------------------------------------------
 
 ThreadPool::TaskGroup::TaskGroup(ThreadPool& pool)
-    : pool_(pool), state_(std::make_shared<State>()) {}
+    : pool_(pool), state_(std::make_shared<State>()) {
+  state_->pool = &pool_;
+}
 
 ThreadPool::TaskGroup::~TaskGroup() {
   try {
@@ -134,28 +141,37 @@ void ThreadPool::TaskGroup::submit(std::function<void()> task) {
   if (pool_.workers_.empty()) {
     // Single-threaded pool: run inline so submission order is execution
     // order.  Errors still surface through wait(), as in the parallel case.
+    std::exception_ptr error;
     try {
       task();
     } catch (...) {
-      if (!state_->error) state_->error = std::current_exception();
+      error = std::current_exception();
+    }
+    if (error) {
+      MutexLock lock(pool_.mutex_);
+      state_->pool->mutex_.assert_held();  // pool_.mutex_ under its State alias
+      if (!state_->error) state_->error = error;
     }
     return;
   }
   auto wrapper = [pool = &pool_, state = state_, task = std::move(task)] {
+    std::exception_ptr error;
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(pool->mutex_);
-      if (!state->error) state->error = std::current_exception();
+      error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(pool->mutex_);
+      MutexLock lock(pool->mutex_);
+      state->pool->mutex_.assert_held();  // pool->mutex_ under its State alias
+      if (error && !state->error) state->error = error;
       --state->pending;
     }
     pool->wake_.notify_all();
   };
   {
-    std::lock_guard<std::mutex> lock(pool_.mutex_);
+    MutexLock lock(pool_.mutex_);
+    state_->pool->mutex_.assert_held();  // pool_.mutex_ under its State alias
     ++state_->pending;
     pool_.queue_.push_back(std::move(wrapper));
   }
@@ -163,25 +179,29 @@ void ThreadPool::TaskGroup::submit(std::function<void()> task) {
 }
 
 void ThreadPool::TaskGroup::wait() {
-  std::unique_lock<std::mutex> lock(pool_.mutex_);
-  while (state_->pending > 0) {
-    if (!pool_.queue_.empty()) {
-      // Help drain: the task may belong to this group, another group, or be
-      // a parallel_for driver — any of them is progress.
-      auto task = std::move(pool_.queue_.front());
-      pool_.queue_.pop_front();
-      lock.unlock();
-      task();
-      lock.lock();
-    } else {
-      pool_.wake_.wait(lock, [&] {
-        return state_->pending == 0 || !pool_.queue_.empty();
-      });
+  std::exception_ptr error;
+  {
+    MutexLock lock(pool_.mutex_);
+    state_->pool->mutex_.assert_held();  // pool_.mutex_ under its State alias
+    while (state_->pending > 0) {
+      if (!pool_.queue_.empty()) {
+        // Help drain: the task may belong to this group, another group, or be
+        // a parallel_for driver — any of them is progress.
+        auto task = std::move(pool_.queue_.front());
+        pool_.queue_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+        state_->pool->mutex_.assert_held();  // re-pin after relock
+      } else {
+        while (state_->pending > 0 && pool_.queue_.empty()) {
+          pool_.wake_.wait(lock);
+        }
+      }
     }
+    error = std::move(state_->error);
+    state_->error = nullptr;
   }
-  auto error = std::move(state_->error);
-  state_->error = nullptr;
-  lock.unlock();
   if (error) std::rethrow_exception(error);
 }
 

@@ -1,15 +1,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 /// \file thread_pool.hpp
 /// \brief A small work-sharing thread pool for shard-parallel passes and for
@@ -37,6 +37,14 @@
 /// A pool of parallelism 1 has no worker threads at all; parallel_for then
 /// degenerates to an inline loop and TaskGroup::submit runs tasks
 /// immediately, in submission order.
+///
+/// Locking contract (machine-checked; see docs/concurrency.md): the pool's
+/// queue and stop flag are guarded by `mutex_` (rank pool_queue), each
+/// parallel_for call's error slot by its ForJob's own mutex (rank
+/// pool_for_job), and a TaskGroup's pending/error state by the pool's mutex
+/// through the group's back-pointer.  No pool code path acquires another
+/// tracked lock while holding either rank — tasks always run with the queue
+/// mutex dropped.
 
 namespace mighty::util {
 
@@ -90,9 +98,15 @@ public:
     void wait();
 
   private:
+    /// Group state shared with the wrapper closures still in the queue.  The
+    /// guarding mutex lives in the pool, reached through `pool` — the
+    /// annotations spell that path out, and the access sites pin the alias
+    /// with Mutex::assert_held() (the analysis cannot prove on its own that
+    /// `pool_.mutex_` and `state_->pool->mutex_` are one object).
     struct State {
-      size_t pending = 0;           ///< guarded by the pool's mutex
-      std::exception_ptr error;     ///< guarded by the pool's mutex
+      ThreadPool* pool = nullptr;
+      size_t pending MIGHTY_GUARDED_BY(pool->mutex_) = 0;
+      std::exception_ptr error MIGHTY_GUARDED_BY(pool->mutex_);
     };
 
     ThreadPool& pool_;
@@ -112,9 +126,9 @@ private:
     std::atomic<size_t> next{0};
     std::atomic<size_t> finished{0};
     std::atomic<bool> failed{false};
-    std::mutex mutex;
-    std::condition_variable done;
-    std::exception_ptr error;     ///< guarded by mutex
+    Mutex mutex{LockRank::pool_for_job};
+    CondVar done;
+    std::exception_ptr error MIGHTY_GUARDED_BY(mutex);
   };
 
   static void drain(ForJob& job);
@@ -123,13 +137,13 @@ private:
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
+  Mutex mutex_{LockRank::pool_queue};
   /// Queue activity and group completion share one condition variable:
   /// workers wake on stop/queue-non-empty, group waiters additionally on
   /// pending reaching zero.  notify_all keeps the predicates honest.
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  CondVar wake_;
+  std::deque<std::function<void()>> queue_ MIGHTY_GUARDED_BY(mutex_);
+  bool stop_ MIGHTY_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mighty::util

@@ -1,0 +1,24 @@
+// Negative-compile case: violating a declared MIGHTY_ACQUIRED_AFTER
+// ordering edge must be rejected under -Wthread-safety-beta (the static
+// twin of the Debug runtime acquisition-order graph in util::Mutex).
+#include "util/mutex.hpp"
+
+namespace {
+
+struct TwoLocks {
+  mighty::util::Mutex outer;
+  mighty::util::Mutex inner MIGHTY_ACQUIRED_AFTER(outer);
+
+  void wrong_order() {
+    mighty::util::MutexLock hold_inner(inner);
+    mighty::util::MutexLock hold_outer(outer);  // BAD: outer must come first
+  }
+};
+
+}  // namespace
+
+int main() {
+  TwoLocks locks;
+  locks.wrong_order();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Negative-compile case: calling a MIGHTY_REQUIRES(mu) function without
+// holding mu must be rejected by -Wthread-safety.  This is the `_locked`
+// helper convention — a caller that forgets the lock fails to compile.
+#include "util/mutex.hpp"
+
+namespace {
+
+struct Table {
+  mighty::util::Mutex mu;
+  int entries MIGHTY_GUARDED_BY(mu) = 0;
+
+  void insert_locked() MIGHTY_REQUIRES(mu) { ++entries; }
+
+  void insert() {
+    insert_locked();  // BAD: caller does not hold mu
+  }
+};
+
+}  // namespace
+
+int main() {
+  Table table;
+  table.insert();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Negative-compile case: reading a MIGHTY_GUARDED_BY member without holding
+// its mutex must be rejected by -Wthread-safety.  run_case.cmake first
+// proves this file is valid C++ *without* the analysis flags, so the only
+// way it can fail is the thread-safety diagnostic itself.
+#include "util/mutex.hpp"
+
+namespace {
+
+struct Counter {
+  mighty::util::Mutex mu;
+  int value MIGHTY_GUARDED_BY(mu) = 0;
+
+  int read_without_lock() {
+    return value;  // BAD: mu is not held
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.read_without_lock();
+}

@@ -1,0 +1,29 @@
+// Positive control: the same patterns the fail_* cases break, written
+// correctly, must compile clean under the full analysis flag set.  If this
+// case ever fails, the negative cases are failing for the wrong reason
+// (broken headers or flags), not because the analysis caught the bug.
+#include "util/mutex.hpp"
+
+namespace {
+
+struct Contract {
+  mighty::util::Mutex outer;
+  mighty::util::Mutex inner MIGHTY_ACQUIRED_AFTER(outer);
+  int value MIGHTY_GUARDED_BY(outer) = 0;
+
+  void bump_locked() MIGHTY_REQUIRES(outer) { ++value; }
+
+  int use() {
+    mighty::util::MutexLock hold_outer(outer);
+    mighty::util::MutexLock hold_inner(inner);  // documented order
+    bump_locked();
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Contract contract;
+  return contract.use();
+}

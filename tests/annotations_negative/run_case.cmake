@@ -1,0 +1,61 @@
+# Drives one annotations_negative case at ctest time.
+#
+#   cmake -DCOMPILER=<clang++> -DCASE=<case.cpp> -DINCLUDE_DIR=<repo>/src
+#         -DEXPECT=fail|pass -P run_case.cmake
+#
+# Every case is compiled twice:
+#
+#   1. WITHOUT the analysis flags — must always succeed.  This proves the
+#      case is valid C++, so a failure in step 2 can only come from the
+#      thread-safety analysis, never from an unrelated compile error.
+#   2. WITH -Wthread-safety -Wthread-safety-beta -Werror — an EXPECT=fail
+#      case must fail here *and* the diagnostic must name -Wthread-safety;
+#      an EXPECT=pass case (the positive control) must stay clean.
+#
+# The double compile plus the diagnostic match is what keeps the analysis
+# from rotting into a no-op: if the macros ever expand to nothing under
+# Clang, or the CI leg loses its flags, the fail cases compile clean and
+# ctest goes red.
+
+foreach(var COMPILER CASE INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_case.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(base_flags -std=c++20 -fsyntax-only -I${INCLUDE_DIR})
+set(analysis_flags -Wthread-safety -Wthread-safety-beta -Werror)
+
+execute_process(
+  COMMAND ${COMPILER} ${base_flags} ${CASE}
+  RESULT_VARIABLE plain_rc
+  ERROR_VARIABLE plain_err)
+if(NOT plain_rc EQUAL 0)
+  message(FATAL_ERROR
+    "${CASE} does not compile even without the analysis flags — the case is "
+    "broken, not the contract:\n${plain_err}")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} ${base_flags} ${analysis_flags} ${CASE}
+  RESULT_VARIABLE analysis_rc
+  ERROR_VARIABLE analysis_err)
+
+if(EXPECT STREQUAL "pass")
+  if(NOT analysis_rc EQUAL 0)
+    message(FATAL_ERROR
+      "positive control ${CASE} was rejected by the analysis flags:\n"
+      "${analysis_err}")
+  endif()
+else()
+  if(analysis_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${CASE} compiled clean under ${analysis_flags} — the thread-safety "
+      "analysis has rotted into a no-op")
+  endif()
+  if(NOT analysis_err MATCHES "Wthread-safety")
+    message(FATAL_ERROR
+      "${CASE} failed, but not with a -Wthread-safety diagnostic — it is "
+      "failing for the wrong reason:\n${analysis_err}")
+  endif()
+endif()

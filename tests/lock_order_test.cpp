@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "util/mutex.hpp"
+
+// The Debug lock-order checker (util/mutex.hpp): acquisitions in the
+// documented order pass and record edges in the process-global graph; an
+// acquisition that closes a cycle — or nests two locks of the same rank —
+// aborts via MIGHTY_ASSERT.  The checker compiles out under NDEBUG /
+// MIGHTY_UNCHECKED and under ThreadSanitizer, so every test skips itself
+// when lock_order::kEnabled is false rather than silently passing.
+//
+// Death tests use the "threadsafe" style: the child re-executes the test
+// from a fresh process, so each death statement must build the graph edge it
+// needs before triggering the inversion — the parent's graph state does not
+// carry over (and the parent never runs the statement).
+
+namespace {
+
+using mighty::util::LockRank;
+using mighty::util::Mutex;
+using mighty::util::MutexLock;
+namespace lock_order = mighty::util::lock_order;
+
+TEST(LockOrder, DocumentedOrderPassesAndRecordsEdges) {
+  if (!lock_order::kEnabled) GTEST_SKIP() << "lock-order checker compiled out";
+  Mutex outer(LockRank::test_outer);
+  Mutex inner(LockRank::test_inner);
+  {
+    MutexLock hold_outer(outer);
+    MutexLock hold_inner(inner);
+  }
+  EXPECT_TRUE(lock_order::observed(LockRank::test_outer, LockRank::test_inner));
+  EXPECT_FALSE(lock_order::observed(LockRank::test_inner, LockRank::test_outer));
+  // Repeating the documented order is idempotent, not a violation.
+  {
+    MutexLock hold_outer(outer);
+    MutexLock hold_inner(inner);
+  }
+  EXPECT_TRUE(lock_order::observed(LockRank::test_outer, LockRank::test_inner));
+}
+
+TEST(LockOrder, UntrackedRankStaysOutOfTheGraph) {
+  if (!lock_order::kEnabled) GTEST_SKIP() << "lock-order checker compiled out";
+  Mutex tracked(LockRank::test_outer);
+  Mutex untracked;  // LockRank::none
+  {
+    MutexLock hold_untracked(untracked);
+    MutexLock hold_tracked(tracked);
+  }
+  {
+    // The opposite nesting with an untracked lock must not trip the checker.
+    MutexLock hold_tracked(tracked);
+    MutexLock hold_untracked(untracked);
+  }
+  EXPECT_FALSE(lock_order::observed(LockRank::none, LockRank::test_outer));
+}
+
+TEST(LockOrder, AssertHeldPassesUnderTheLock) {
+  Mutex mu(LockRank::test_outer);
+  MutexLock hold(mu);
+  mu.assert_held();  // must not abort
+}
+
+TEST(LockOrderDeathTest, InversionAborts) {
+  if (!lock_order::kEnabled) GTEST_SKIP() << "lock-order checker compiled out";
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex outer(LockRank::test_outer);
+        Mutex inner(LockRank::test_inner);
+        {
+          MutexLock hold_outer(outer);
+          MutexLock hold_inner(inner);  // records test_outer -> test_inner
+        }
+        MutexLock hold_inner(inner);
+        MutexLock hold_outer(outer);  // closes the cycle: must abort
+      },
+      "lock-order inversion");
+}
+
+TEST(LockOrderDeathTest, SameRankNestingAborts) {
+  if (!lock_order::kEnabled) GTEST_SKIP() << "lock-order checker compiled out";
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex first(LockRank::test_outer);
+        Mutex second(LockRank::test_outer);
+        MutexLock hold_first(first);
+        MutexLock hold_second(second);  // same rank nested: must abort
+      },
+      "same-rank nesting");
+}
+
+TEST(LockOrderDeathTest, AssertHeldAbortsWithoutTheLock) {
+  if (!lock_order::kEnabled) GTEST_SKIP() << "lock-order checker compiled out";
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu(LockRank::test_outer);
+        mu.assert_held();
+      },
+      "assert_held");
+}
+
+}  // namespace

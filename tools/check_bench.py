@@ -22,11 +22,19 @@ Usage:
       BENCH_table3.json [--wall-tolerance 1.5]
 
 Exit status: 0 clean (warnings allowed), 1 on any regression or schema error.
+
+Typed for `mypy --strict` (the python-lint CI job): JSON payloads stay
+`dict[str, Any]` — their shape is validated at the access sites, which is
+exactly what the error messages report on.
 """
 
 import argparse
 import json
 import sys
+from typing import Any
+
+JsonDict = dict[str, Any]
+Report = dict[str, list[str]]
 
 WALL_METRICS = {"seconds"}
 # Counter-ratio metrics where higher is better (cache reuse, oracle hit
@@ -36,28 +44,37 @@ RATE_SUFFIX = "_rate"
 RATE_EPSILON = 1e-6
 
 
-def load(path):
+def load(path: str) -> JsonDict:
     try:
         with open(path) as handle:
-            return json.load(handle)
+            doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         sys.exit(f"error: cannot read {path}: {error}")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {path}: top level is not a JSON object")
+    return doc
 
 
-def index_benchmarks(doc, path):
-    if "benchmarks" not in doc:
+def index_benchmarks(doc: JsonDict, path: str) -> dict[str, JsonDict]:
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list):
         sys.exit(f"error: {path} has no 'benchmarks' array")
-    indexed = {}
-    for position, bench in enumerate(doc["benchmarks"]):
+    indexed: dict[str, JsonDict] = {}
+    for position, bench in enumerate(benchmarks):
         if not isinstance(bench, dict) or "name" not in bench:
             sys.exit(f"error: {path}: benchmarks[{position}] has no 'name' "
                      f"(malformed entry: {bench!r:.80})")
-        indexed[bench["name"]] = bench
+        name = bench["name"]
+        if not isinstance(name, str):
+            sys.exit(f"error: {path}: benchmarks[{position}] 'name' is not a "
+                     f"string: {name!r:.80}")
+        indexed[name] = bench
     return indexed
 
 
-def compare_metrics(context, baseline, current, tolerance, report,
-                    sanitizer=""):
+def compare_metrics(context: str, baseline: JsonDict, current: JsonDict,
+                    tolerance: float, report: Report,
+                    sanitizer: str = "") -> None:
     """Compares one metric group; records regressions in `report`."""
     for metric, base_value in baseline.items():
         if metric not in current:
@@ -103,7 +120,7 @@ def compare_metrics(context, baseline, current, tolerance, report,
                 f"{context}: {metric} improved {base_value:g} -> {value:g}")
 
 
-def main():
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("result", help="fresh BENCH_*.json to check")
     parser.add_argument("--baseline", required=True,
@@ -123,12 +140,12 @@ def main():
 
     baseline = index_benchmarks(baseline_doc, args.baseline)
     result = index_benchmarks(result_doc, args.result)
-    report = {"failures": [], "warnings": [], "improvements": []}
+    report: Report = {"failures": [], "warnings": [], "improvements": []}
 
     # Bench binaries stamp the sanitizer they were built under into the JSON
     # (empty for plain builds, absent for pre-stamp artifacts).  Wall metrics
     # from an instrumented run are meaningless against a plain baseline.
-    sanitizer = result_doc.get("sanitizer", "") or ""
+    sanitizer = str(result_doc.get("sanitizer", "") or "")
     if sanitizer:
         report["warnings"].append(
             f"result was produced by a '{sanitizer}'-instrumented build; "
