@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/atomic_file.hpp"
 
 /// Shared helpers for the table-reproduction benchmark binaries.
 
@@ -66,53 +69,62 @@ struct BenchRecord {
       variants;
 };
 
-inline void write_json_value(std::FILE* os, double value) {
+inline void write_json_value(std::ostream& os, double value) {
+  // snprintf keeps the exact historical formatting ("%lld" / "%.6f"), so the
+  // artifact stays byte-identical to what the fprintf writer produced.
+  char buffer[32];
   if (value == static_cast<double>(static_cast<long long>(value))) {
-    std::fprintf(os, "%lld", static_cast<long long>(value));
+    std::snprintf(buffer, sizeof buffer, "%lld", static_cast<long long>(value));
   } else {
-    std::fprintf(os, "%.6f", value);
+    std::snprintf(buffer, sizeof buffer, "%.6f", value);
   }
+  os << buffer;
 }
 
 /// Writes the BENCH_*.json artifact: stable schema, two-space indent, keys
 /// in emission order so diffs against a checked-in baseline stay readable.
+/// Atomic tmp+rename, so a crashed or interrupted bench run never leaves a
+/// truncated artifact for check_bench.py to choke on.
 inline bool write_bench_json(const std::string& path, const std::string& bench,
                              const std::string& mode, int threads,
                              const std::vector<BenchRecord>& records) {
-  std::FILE* os = std::fopen(path.c_str(), "w");
-  if (os == nullptr) return false;
-  std::fprintf(os, "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n  \"threads\": %d,\n",
-               bench.c_str(), mode.c_str(), threads);
   // The build stamps in the sanitizer (CMake's MIGHTY_SANITIZER_NAME, empty
   // for plain builds): check_bench.py downgrades wall-clock gates to
   // warnings for instrumented runs, whose timings mean nothing.
 #if !defined(MIGHTY_SANITIZER_NAME)
 #define MIGHTY_SANITIZER_NAME ""
 #endif
-  std::fprintf(os, "  \"sanitizer\": \"%s\",\n", MIGHTY_SANITIZER_NAME);
-  std::fprintf(os, "  \"benchmarks\": [\n");
-  for (size_t r = 0; r < records.size(); ++r) {
-    const auto& rec = records[r];
-    std::fprintf(os, "    {\"name\": \"%s\",\n     \"baseline\": {", rec.name.c_str());
-    for (size_t i = 0; i < rec.baseline.size(); ++i) {
-      std::fprintf(os, "%s\"%s\": ", i ? ", " : "", rec.baseline[i].first.c_str());
-      write_json_value(os, rec.baseline[i].second);
-    }
-    std::fprintf(os, "},\n     \"variants\": {");
-    for (size_t v = 0; v < rec.variants.size(); ++v) {
-      std::fprintf(os, "%s\n       \"%s\": {", v ? "," : "",
-                   rec.variants[v].first.c_str());
-      const auto& metrics = rec.variants[v].second;
-      for (size_t i = 0; i < metrics.size(); ++i) {
-        std::fprintf(os, "%s\"%s\": ", i ? ", " : "", metrics[i].first.c_str());
-        write_json_value(os, metrics[i].second);
+  try {
+    util::write_file_atomically(path, [&](std::ostream& os) {
+      os << "{\n  \"bench\": \"" << bench << "\",\n  \"mode\": \"" << mode
+         << "\",\n  \"threads\": " << threads << ",\n";
+      os << "  \"sanitizer\": \"" << MIGHTY_SANITIZER_NAME << "\",\n";
+      os << "  \"benchmarks\": [\n";
+      for (size_t r = 0; r < records.size(); ++r) {
+        const auto& rec = records[r];
+        os << "    {\"name\": \"" << rec.name << "\",\n     \"baseline\": {";
+        for (size_t i = 0; i < rec.baseline.size(); ++i) {
+          os << (i ? ", " : "") << "\"" << rec.baseline[i].first << "\": ";
+          write_json_value(os, rec.baseline[i].second);
+        }
+        os << "},\n     \"variants\": {";
+        for (size_t v = 0; v < rec.variants.size(); ++v) {
+          os << (v ? "," : "") << "\n       \"" << rec.variants[v].first << "\": {";
+          const auto& metrics = rec.variants[v].second;
+          for (size_t i = 0; i < metrics.size(); ++i) {
+            os << (i ? ", " : "") << "\"" << metrics[i].first << "\": ";
+            write_json_value(os, metrics[i].second);
+          }
+          os << "}";
+        }
+        os << "\n     }}" << (r + 1 < records.size() ? "," : "") << "\n";
       }
-      std::fprintf(os, "}");
-    }
-    std::fprintf(os, "\n     }}%s\n", r + 1 < records.size() ? "," : "");
+      os << "  ]\n}\n";
+    });
+  } catch (const std::exception&) {
+    return false;
   }
-  std::fprintf(os, "  ]\n}\n");
-  return std::fclose(os) == 0;
+  return true;
 }
 
 }  // namespace mighty::bench

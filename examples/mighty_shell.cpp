@@ -18,7 +18,6 @@
 #include <unistd.h>
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -33,6 +32,7 @@
 #include "io/io.hpp"
 #include "mig/mig.hpp"
 #include "serve/client.hpp"
+#include "util/atomic_file.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace mighty;
@@ -438,14 +438,14 @@ void Shell::command(const std::string& line) {
   } else if (cmd == "write_verilog") {
     std::string path;
     is >> path;
-    std::ofstream os(path);
-    io::write_verilog(os, *current);
+    util::write_file_atomically(
+        path, [&](std::ostream& os) { io::write_verilog(os, *current); });
     printf("written %s\n", path.c_str());
   } else if (cmd == "write_dot") {
     std::string path;
     is >> path;
-    std::ofstream os(path);
-    io::write_dot(os, *current);
+    util::write_file_atomically(
+        path, [&](std::ostream& os) { io::write_dot(os, *current); });
     printf("written %s\n", path.c_str());
   } else {
     printf("unknown command '%s' (try `help`)\n", cmd.c_str());

@@ -7,6 +7,7 @@
 #include "api/error.hpp"
 #include "io/io.hpp"
 #include "tt/truth_table.hpp"
+#include "util/atomic_file.hpp"
 
 namespace mighty::io {
 
@@ -105,12 +106,16 @@ void write_blif(std::ostream& os, const mig::Mig& mig, const std::string& model_
 
 void write_blif_file(const std::string& path, const mig::Mig& mig,
                      const std::string& model_name) {
-  std::ofstream os(path);
-  if (!os) {
-    throw api::Error(api::ErrorCode::io_error,
-                     "cannot open " + path + " for writing");
+  // Atomic tmp+rename: a crash mid-write must not leave a truncated BLIF
+  // behind (downstream flows re-read these files).
+  try {
+    util::write_file_atomically(
+        path, [&](std::ostream& os) { write_blif(os, mig, model_name); });
+  } catch (const api::Error&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw api::Error(api::ErrorCode::io_error, e.what());
   }
-  write_blif(os, mig, model_name);
 }
 
 mig::Mig read_blif(std::istream& is) {

@@ -137,6 +137,7 @@ ReplacementOracle::CacheStats ReplacementOracle::cache_stats() const {
   for (const auto& stripe : cache5_) {
     util::MutexLock lock(stripe.mutex);
     stats.entries += stripe.map.size();
+    // mighty-lint: allow(nondeterministic-iteration): pure counting — every entry contributes commutatively to the tallies, so visit order cannot reach the result
     for (const auto& [key, entry] : stripe.map) {
       (void)key;
       if (entry.chain) {
@@ -283,6 +284,7 @@ size_t ReplacementOracle::save_cache(const std::string& path) {
   size_t dirty = 0;
   for (auto& stripe : cache5_) {
     util::MutexLock lock(stripe.mutex);
+    // mighty-lint: allow(nondeterministic-iteration): snapshot collection — the vector is sorted by key below, before anything order-sensitive reads it
     for (const auto& [key, entry] : stripe.map) {
       if (entry.dirty) ++dirty;
       snapshot.emplace_back(key, entry);
@@ -315,6 +317,7 @@ size_t ReplacementOracle::save_cache(const std::string& path) {
   // content no longer matches the snapshot's.
   for (auto& stripe : cache5_) {
     util::MutexLock lock(stripe.mutex);
+    // mighty-lint: allow(nondeterministic-iteration): per-entry dirty-bit clear — each entry is judged against the sorted snapshot independently of every other
     for (auto& [key, entry] : stripe.map) {
       const auto it = std::lower_bound(
           snapshot.begin(), snapshot.end(), key,

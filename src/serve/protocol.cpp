@@ -33,6 +33,28 @@ api::JobState state_from_wire(uint8_t raw) {
 
 // --- framing -----------------------------------------------------------------
 
+bool is_known_tag(uint8_t raw) {
+  switch (static_cast<Tag>(raw)) {
+    case Tag::hello:
+    case Tag::submit:
+    case Tag::status:
+    case Tag::result:
+    case Tag::cancel:
+    case Tag::stats:
+    case Tag::shutdown:
+    case Tag::hello_ok:
+    case Tag::submit_ok:
+    case Tag::status_ok:
+    case Tag::result_ok:
+    case Tag::cancel_ok:
+    case Tag::stats_ok:
+    case Tag::shutdown_ok:
+    case Tag::error:
+      return true;
+  }
+  return false;
+}
+
 std::vector<uint8_t> encode_frame(Tag tag, const std::vector<uint8_t>& payload) {
   std::vector<uint8_t> out;
   out.reserve(5 + payload.size());

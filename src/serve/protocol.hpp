@@ -62,6 +62,13 @@ enum class Tag : uint8_t {
   error = 0xFF,
 };
 
+/// True when `raw` is one of the Tag enumerators above.  Consumers validate
+/// the raw byte HERE, before casting and switching on Tag, so their switches
+/// can list every enumerator with no default: label — then -Wswitch (and the
+/// wire-enum-switch lint) flags any appended tag at compile time instead of
+/// letting it fall into a default silently.
+bool is_known_tag(uint8_t raw);
+
 struct Frame {
   uint8_t tag = 0;
   std::vector<uint8_t> payload;

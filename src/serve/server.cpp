@@ -215,6 +215,13 @@ struct Server::Impl {
       reply_error(fd, ErrorCode::shutting_down, "server is shutting down");
       return tag != Tag::shutdown;
     }
+    if (!is_known_tag(frame.tag)) {
+      // Unknown tags are survivable: the frame boundary is intact, so answer
+      // and keep listening (a newer client probing an optional message must
+      // not lose its connection).
+      return reply_error(fd, ErrorCode::unknown_message,
+                         "unknown frame tag " + std::to_string(frame.tag));
+    }
     try {
       switch (tag) {
         case Tag::hello:
@@ -242,13 +249,21 @@ struct Server::Impl {
           if (params_.on_shutdown_request) params_.on_shutdown_request();
           return false;  // the requester's conversation is over
         }
-        default:
-          // Unknown tags are survivable: the frame boundary is intact, so
-          // answer and keep listening (a newer client probing an optional
-          // message must not lose its connection).
+        case Tag::hello_ok:
+        case Tag::submit_ok:
+        case Tag::status_ok:
+        case Tag::result_ok:
+        case Tag::cancel_ok:
+        case Tag::stats_ok:
+        case Tag::shutdown_ok:
+        case Tag::error:
+          // Reply tags are real wire values a server never accepts; answer
+          // exactly like an out-of-enum byte so a confused peer keeps its
+          // connection.
           return reply_error(fd, ErrorCode::unknown_message,
                              "unknown frame tag " + std::to_string(frame.tag));
       }
+      return true;  // not reached: every enumerator above returns
     } catch (const std::exception& e) {
       // Service-level failures (bad script, unknown job, shutting down...)
       // belong to this request only; the connection stays up.

@@ -1,0 +1,17 @@
+// Lint fixture: the suppression syntax REQUIRES a reason.  A bare
+// allow(check) and an allow naming an unknown check must each produce a
+// diagnostic under [allow] — and must NOT suppress the underlying finding.
+
+#include <cassert>
+
+namespace fixture {
+
+inline void unreasoned(int v) {
+  assert(v >= 0);  // mighty-lint: allow(raw-assert)
+}
+
+inline void unknown_check(int v) {
+  assert(v > 0);  // mighty-lint: allow(no-such-check): the registry has no check by this name
+}
+
+}  // namespace fixture

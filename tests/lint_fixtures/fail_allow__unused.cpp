@@ -1,0 +1,13 @@
+// Lint fixture: a stale suppression MUST be flagged.  The comment below
+// claims to cover the next code line, but that line triggers nothing — the
+// drifted allow is reported under [allow] so dead suppressions cannot rot in
+// place and silently swallow a future real finding.
+
+namespace fixture {
+
+inline int identity(int v) {
+  // mighty-lint: allow(raw-assert): the guarded code was removed, this allow now covers nothing
+  return v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Lint fixture: nonatomic-persist MUST fire on both raw write paths —
+// std::ofstream and fopen().  Either truncates the target in place, so a
+// crash mid-write leaves a partial artifact that a concurrent reader can
+// observe.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+inline void dump_text(const std::string& path, const std::string& body) {
+  std::ofstream os(path);
+  os << body;
+}
+
+inline void dump_binary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f != nullptr) std::fclose(f);
+}
+
+}  // namespace fixture

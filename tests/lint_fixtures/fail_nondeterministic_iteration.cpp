@@ -1,0 +1,26 @@
+// Lint fixture: nondeterministic-iteration MUST fire.  Hash-order iteration
+// feeds the result, so the output depends on the hasher, the libstdc++
+// version, and insertion history — which breaks the bit-identical
+// determinism contract (threads=N must equal threads=1).
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+inline int sum_counts(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  for (const auto& [name, value] : counts) {
+    total += value * static_cast<int>(name.size());
+  }
+  return total;
+}
+
+inline int first_value(const std::unordered_map<std::string, int>& table) {
+  for (auto it = table.begin(); it != table.end(); ++it) {
+    return it->second;
+  }
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Lint fixture: raw-assert MUST fire.  assert() compiles out under NDEBUG —
+// exactly the build the benches and any production binary run — so the
+// invariant below would only ever be checked in the Debug CI leg.
+
+#include <cassert>
+
+namespace fixture {
+
+inline int clamp_positive(int v) {
+  assert(v >= 0);
+  return v < 0 ? 0 : v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Lint fixture: raw-sync-primitive MUST fire.  A std::mutex declared outside
+// src/util/mutex.* is invisible to -Wthread-safety and to the Debug
+// lock-order checker.  Never compiled — linted as src/lint_fixture.cpp by
+// run_case.cmake.
+
+#include <mutex>
+
+namespace fixture {
+
+struct Counter {
+  int bump() {
+    std::lock_guard<std::mutex> hold(guard);
+    return ++value;
+  }
+
+  std::mutex guard;
+  int value = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Lint fixture: wire-enum-switch MUST fire on the default: label.  Tag is a
+// watched wire-enum name; docs/protocol.md freezes its values append-only,
+// and a default: silently swallows every newly appended frame tag.
+
+namespace fixture {
+
+enum class Tag : unsigned char {
+  hello = 0x01,
+  submit = 0x02,
+  shutdown = 0x07,
+};
+
+inline int dispatch(Tag tag) {
+  switch (tag) {
+    case Tag::hello: return 1;
+    case Tag::submit: return 2;
+    case Tag::shutdown: return 3;
+    default: return -1;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Lint fixture: wire-enum-switch MUST fire on missing enumerators.  The
+// switch below compiles clean (it just falls through for io_error) while
+// ignoring a real wire value — the check forces every enumerator of a frozen
+// wire enum to appear.
+
+namespace fixture {
+
+enum class ErrorCode : unsigned {
+  ok = 0,
+  parse_error = 1,
+  io_error = 2,
+};
+
+inline const char* name_of(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::ok: return "ok";
+    case ErrorCode::parse_error: return "parse_error";
+  }
+  return "?";
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Lint fixture: positive control for the suppression path.  Both placements
+// appear — trailing on the offending line, and standalone on the line above
+// it — each with the required reason.  Expected outcome: zero findings (both
+// diagnostics suppressed) and zero stale-allow reports (both allows used).
+
+#include <cassert>
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+inline void checked(int v) {
+  assert(v >= 0);  // mighty-lint: allow(raw-assert): fixture exercising the trailing-comment suppression path
+}
+
+inline void probe(const std::string& path) {
+  // mighty-lint: allow(nonatomic-persist): fixture exercising the standalone-comment suppression path
+  std::ofstream os(path);
+  os << "x";
+}
+
+}  // namespace fixture

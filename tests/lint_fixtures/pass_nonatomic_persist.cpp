@@ -1,0 +1,24 @@
+// Lint fixture: positive control for nonatomic-persist.  Reading is free;
+// persistent writes go through util::write_file_atomically (temp file +
+// atomic rename), so readers never observe a half-written state.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/atomic_file.hpp"
+
+namespace fixture {
+
+inline std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+inline void persist(const std::string& path, const std::string& body) {
+  util::write_file_atomically(path, [&](std::ostream& os) { os << body; });
+}
+
+}  // namespace fixture

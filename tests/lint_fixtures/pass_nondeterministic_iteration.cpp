@@ -1,0 +1,34 @@
+// Lint fixture: positive control for nondeterministic-iteration.  Lookups
+// into unordered containers are fine — only visit order is hazardous — and
+// ordered traversal goes through a sorted snapshot, the pattern the check's
+// message prescribes.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+inline int lookup(const std::unordered_map<std::string, int>& counts,
+                  const std::string& key) {
+  const auto it = counts.find(key);
+  return it == counts.end() ? 0 : it->second;
+}
+
+inline int sum_sorted(const std::unordered_map<std::string, int>& counts) {
+  const std::map<std::string, int> sorted(counts.begin(), counts.end());
+  int total = 0;
+  for (const auto& [name, value] : sorted) {
+    total += value * static_cast<int>(name.size());
+  }
+  return total;
+}
+
+inline int sum_vector(const std::vector<int>& items) {
+  int total = 0;
+  for (const int v : items) total += v;
+  return total;
+}
+
+}  // namespace fixture

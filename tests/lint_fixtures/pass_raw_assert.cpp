@@ -1,0 +1,24 @@
+// Lint fixture: positive control for raw-assert.  MIGHTY_ASSERT is the
+// project macro; member and qualified spellings of `assert` are not the
+// <cassert> macro and must not be flagged.
+
+#include "util/assert.hpp"
+
+namespace fixture {
+
+struct Checker {
+  void check(bool ok);
+};
+
+inline int clamp_positive(Checker& checker, int v) {
+  MIGHTY_ASSERT(v >= 0);
+  checker.check(v >= 0);
+  return v < 0 ? 0 : v;
+}
+
+inline void qualified_spellings(Checker& c) {
+  c.assert(true);
+  Checker::assert(true);
+}
+
+}  // namespace fixture

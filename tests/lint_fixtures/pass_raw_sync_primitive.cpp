@@ -1,0 +1,21 @@
+// Lint fixture: positive control for raw-sync-primitive.  Locking goes
+// through the capability-annotated util::Mutex layer; identifiers that merely
+// contain the raw type names (mutex_count) carry no std:: qualifier and must
+// not trip the matcher.
+
+#include "util/mutex.hpp"
+
+namespace fixture {
+
+struct Counter {
+  int bump() {
+    util::LockGuard hold(guard);
+    return ++value;
+  }
+
+  util::Mutex guard{util::LockRank::leaf};
+  int value = 0;
+  int mutex_count = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Lint fixture: positive control for wire-enum-switch.  The prescribed
+// shape: validate the raw byte BEFORE the switch, then switch exhaustively
+// with no default (so -Wswitch also flags appended values at compile time).
+// Enums outside the watched set may use default: freely.
+
+namespace fixture {
+
+enum class Tag : unsigned char {
+  hello = 0x01,
+  submit = 0x02,
+  shutdown = 0x07,
+};
+
+inline bool is_known_tag(unsigned char raw) {
+  switch (static_cast<Tag>(raw)) {
+    case Tag::hello:
+    case Tag::submit:
+    case Tag::shutdown:
+      return true;
+  }
+  return false;
+}
+
+enum class Mode { fast, thorough };
+
+inline int cost(Mode mode) {
+  switch (mode) {
+    case Mode::fast: return 1;
+    default: return 10;
+  }
+}
+
+}  // namespace fixture

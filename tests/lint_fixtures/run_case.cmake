@@ -1,0 +1,45 @@
+# Drives one lint fixture case at ctest time.
+#
+#   cmake -DLINT=<mighty-lint> -DCASE=<case.cpp> -DEXPECT=fail|pass
+#         -DCHECK=<check-name> -P run_case.cmake
+#
+# Every fixture is linted as though it lived at src/lint_fixture.cpp (--as),
+# so path-scoped checks (raw-assert, nondeterministic-iteration) fire the
+# same way they do on production sources.  An EXPECT=fail case must exit
+# nonzero AND the output must carry the expected check's [tag] — that is the
+# proof the check is live, not just that *something* complained; an
+# EXPECT=pass case must exit 0.  If a check ever rots into a no-op, its
+# fail_ fixture lints clean and ctest goes red.
+
+foreach(var LINT CASE EXPECT CHECK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_case.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${LINT} --as src/lint_fixture.cpp ${CASE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "pass")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "positive control ${CASE} produced diagnostics (exit ${rc}):\n${out}${err}")
+  endif()
+else()
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "${CASE} linted clean — check '${CHECK}' has rotted into a no-op:\n${out}")
+  endif()
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "${CASE} failed with exit ${rc} (usage/IO error), not a finding:\n${out}${err}")
+  endif()
+  if(NOT out MATCHES "\\[${CHECK}\\]")
+    message(FATAL_ERROR
+      "${CASE} produced diagnostics, but none tagged [${CHECK}] — it is "
+      "failing for the wrong reason:\n${out}")
+  endif()
+endif()

@@ -85,6 +85,7 @@ def compare_metrics(context: str, baseline: JsonDict, current: JsonDict,
                 f"{context}: baseline names metric '{metric}' but the bench "
                 f"result no longer emits it (refresh the baseline if this "
                 f"was removed deliberately)")
+            report["failed_metrics"].append(f"{context}:{metric}")
             continue
         value = current[metric]
         if not isinstance(base_value, (int, float)) or isinstance(base_value, bool) \
@@ -92,6 +93,7 @@ def compare_metrics(context: str, baseline: JsonDict, current: JsonDict,
             report["failures"].append(
                 f"{context}: metric '{metric}' is not numeric "
                 f"(baseline {base_value!r}, result {value!r})")
+            report["failed_metrics"].append(f"{context}:{metric}")
             continue
         if metric in WALL_METRICS:
             if sanitizer:
@@ -109,12 +111,14 @@ def compare_metrics(context: str, baseline: JsonDict, current: JsonDict,
                 report["failures"].append(
                     f"{context}: {metric} regressed {base_value:g} -> {value:g} "
                     f"(higher is better)")
+                report["failed_metrics"].append(f"{context}:{metric}")
             elif value > base_value + RATE_EPSILON:
                 report["improvements"].append(
                     f"{context}: {metric} improved {base_value:g} -> {value:g}")
         elif value > base_value:
             report["failures"].append(
                 f"{context}: {metric} regressed {base_value:g} -> {value:g}")
+            report["failed_metrics"].append(f"{context}:{metric}")
         elif value < base_value:
             report["improvements"].append(
                 f"{context}: {metric} improved {base_value:g} -> {value:g}")
@@ -140,7 +144,11 @@ def main() -> int:
 
     baseline = index_benchmarks(baseline_doc, args.baseline)
     result = index_benchmarks(result_doc, args.result)
-    report: Report = {"failures": [], "warnings": [], "improvements": []}
+    # "failed_metrics" mirrors "failures" with compact benchmark:metric keys,
+    # so the final summary line can name every offender (a bare count sends
+    # the reader scrolling back through the FAIL lines).
+    report: Report = {"failures": [], "warnings": [], "improvements": [],
+                      "failed_metrics": []}
 
     # Bench binaries stamp the sanitizer they were built under into the JSON
     # (empty for plain builds, absent for pre-stamp artifacts).  Wall metrics
@@ -154,6 +162,7 @@ def main() -> int:
     for name, base_bench in baseline.items():
         if name not in result:
             report["failures"].append(f"benchmark '{name}' missing from result")
+            report["failed_metrics"].append(f"{name} (missing)")
             continue
         bench = result[name]
         compare_metrics(f"{name}/baseline", base_bench.get("baseline", {}),
@@ -163,6 +172,7 @@ def main() -> int:
             current_metrics = bench.get("variants", {}).get(variant)
             if current_metrics is None:
                 report["failures"].append(f"{name}: variant '{variant}' missing")
+                report["failed_metrics"].append(f"{name}/{variant} (missing)")
                 continue
             compare_metrics(f"{name}/{variant}", base_metrics, current_metrics,
                             args.wall_tolerance, report, sanitizer)
@@ -182,7 +192,8 @@ def main() -> int:
     checked = sum(len(b.get("variants", {})) + 1 for b in baseline.values())
     if report["failures"]:
         print(f"{bench_name}: {len(report['failures'])} regression(s) across "
-              f"{checked} checked metric groups")
+              f"{checked} checked metric groups — offending: "
+              + ", ".join(report["failed_metrics"]))
         return 1
     print(f"{bench_name}: no quality regressions across {checked} metric groups"
           + (f"; {len(report['improvements'])} improvement(s) — consider "

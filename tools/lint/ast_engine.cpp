@@ -1,0 +1,317 @@
+// The LibTooling AST engine (opt-in: -DMIGHTY_LINT_WITH_CLANG=ON).
+//
+// The portable token engine in checks/ trades type knowledge for
+// buildability: it resolves container names lexically and skips what it
+// cannot prove.  This engine runs the same five checks with real types from
+// the compilation database, so member chains (`stripe.map`), function return
+// values and typedef chains all resolve exactly.  Diagnostics flow through
+// the same DiagnosticEngine, so the `// mighty-lint: allow(...)` comments
+// collected by register_file() suppress AST findings identically.
+//
+// API surface is deliberately conservative — ASTMatchers + ClangTool only,
+// stable since LLVM 10 — so the engine builds against any system LLVM/Clang
+// from 14 up.
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+#include "check.hpp"
+#include "diagnostics.hpp"
+
+namespace mighty::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace clang;
+using namespace clang::ast_matchers;
+
+/// Maps a presumed source location back to the FileUnit it belongs to (the
+/// engine must report against vpaths so suppressions and path scoping work).
+class UnitIndex {
+ public:
+  explicit UnitIndex(const std::vector<FileUnit>& units) {
+    for (const FileUnit& unit : units) {
+      std::error_code ec;
+      by_path_[fs::weakly_canonical(unit.fs_path, ec).string()] = &unit;
+    }
+  }
+
+  const FileUnit* find(const SourceManager& sm, SourceLocation loc) const {
+    const PresumedLoc presumed = sm.getPresumedLoc(sm.getExpansionLoc(loc));
+    if (presumed.isInvalid()) return nullptr;
+    std::error_code ec;
+    const auto it =
+        by_path_.find(fs::weakly_canonical(presumed.getFilename(), ec).string());
+    return it == by_path_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::map<std::string, const FileUnit*> by_path_;
+};
+
+struct Ctx {
+  const UnitIndex& index;
+  DiagnosticEngine& engine;
+};
+
+void report_at(const Ctx& ctx, const SourceManager& sm, SourceLocation loc,
+               const std::string& check, const std::string& message,
+               const char* scope = nullptr) {
+  const FileUnit* unit = ctx.index.find(sm, loc);
+  if (unit == nullptr) return;  // header outside the linted set
+  if (scope != nullptr && !vpath_in(unit->vpath, scope)) return;
+  const PresumedLoc presumed = sm.getPresumedLoc(sm.getExpansionLoc(loc));
+  ctx.engine.report(*unit, static_cast<int>(presumed.getLine()),
+                    static_cast<int>(presumed.getColumn()), check, message);
+}
+
+// --- raw-sync-primitive ------------------------------------------------------
+
+class RawSyncCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit RawSyncCallback(Ctx ctx) : ctx_(ctx) {}
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* loc = result.Nodes.getNodeAs<TypeLoc>("loc");
+    if (loc == nullptr) return;
+    const FileUnit* unit = ctx_.index.find(*result.SourceManager, loc->getBeginLoc());
+    if (unit == nullptr || unit->vpath == "src/util/mutex.hpp" ||
+        unit->vpath == "src/util/mutex.cpp") {
+      return;
+    }
+    report_at(ctx_, *result.SourceManager, loc->getBeginLoc(), "raw-sync-primitive",
+              "raw std:: synchronization type outside src/util/mutex.*: use the "
+              "util::Mutex layer (src/util/mutex.hpp) so -Wthread-safety "
+              "capabilities and the Debug lock-order checker apply");
+  }
+
+ private:
+  Ctx ctx_;
+};
+
+// --- raw-assert --------------------------------------------------------------
+
+class RawAssertCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit RawAssertCallback(Ctx ctx) : ctx_(ctx) {}
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* call = result.Nodes.getNodeAs<CallExpr>("call");
+    if (call == nullptr) return;
+    report_at(ctx_, *result.SourceManager, call->getBeginLoc(), "raw-assert",
+              "raw assert() compiles out under NDEBUG; use MIGHTY_ASSERT "
+              "(src/util/assert.hpp), which stays armed in Release builds",
+              "src/");
+  }
+
+ private:
+  Ctx ctx_;
+};
+
+// --- nondeterministic-iteration ----------------------------------------------
+
+class UnorderedIterationCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit UnorderedIterationCallback(Ctx ctx) : ctx_(ctx) {}
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* loop = result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+    if (loop == nullptr) return;
+    report_at(ctx_, *result.SourceManager, loop->getBeginLoc(),
+              "nondeterministic-iteration",
+              "range-for over a std::unordered container: visit order is hash- "
+              "and history-dependent, which breaks the bit-identical "
+              "determinism contract — iterate a sorted snapshot, or annotate "
+              "the loop with a reasoned allow if the body is provably "
+              "order-independent",
+              "src/");
+  }
+
+ private:
+  Ctx ctx_;
+};
+
+// --- nonatomic-persist -------------------------------------------------------
+
+class NonatomicPersistCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit NonatomicPersistCallback(Ctx ctx) : ctx_(ctx) {}
+  void run(const MatchFinder::MatchResult& result) override {
+    const SourceManager& sm = *result.SourceManager;
+    if (const auto* var = result.Nodes.getNodeAs<VarDecl>("ofstream")) {
+      if (!exempt(sm, var->getBeginLoc())) {
+        report_at(ctx_, sm, var->getBeginLoc(), "nonatomic-persist",
+                  "std::ofstream bypasses util::write_file_atomically "
+                  "(src/util/atomic_file.hpp): a crash mid-write leaves a "
+                  "truncated file; write through the atomic helper");
+      }
+    }
+    if (const auto* call = result.Nodes.getNodeAs<CallExpr>("fopen")) {
+      if (!exempt(sm, call->getBeginLoc())) {
+        report_at(ctx_, sm, call->getBeginLoc(), "nonatomic-persist",
+                  "fopen() write paths bypass util::write_file_atomically "
+                  "(src/util/atomic_file.hpp); write through the atomic helper "
+                  "so readers never observe partial files");
+      }
+    }
+  }
+
+ private:
+  bool exempt(const SourceManager& sm, SourceLocation loc) const {
+    const FileUnit* unit = ctx_.index.find(sm, loc);
+    return unit != nullptr && unit->vpath == "src/util/atomic_file.cpp";
+  }
+
+  Ctx ctx_;
+};
+
+// --- wire-enum-switch --------------------------------------------------------
+
+class WireEnumSwitchCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit WireEnumSwitchCallback(Ctx ctx) : ctx_(ctx) {}
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* stmt = result.Nodes.getNodeAs<SwitchStmt>("switch");
+    const auto* decl = result.Nodes.getNodeAs<EnumDecl>("enum");
+    if (stmt == nullptr || decl == nullptr) return;
+    const std::string enum_name = decl->getNameAsString();
+
+    std::set<std::string> covered;
+    const SwitchCase* default_case = nullptr;
+    for (const SwitchCase* sc = stmt->getSwitchCaseList(); sc != nullptr;
+         sc = sc->getNextSwitchCase()) {
+      if (const auto* cs = dyn_cast<CaseStmt>(sc)) {
+        const Expr* lhs = cs->getLHS();
+        if (lhs != nullptr) {
+          if (const auto* ref =
+                  dyn_cast<DeclRefExpr>(lhs->IgnoreParenImpCasts())) {
+            if (const auto* enumerator =
+                    dyn_cast<EnumConstantDecl>(ref->getDecl())) {
+              covered.insert(enumerator->getNameAsString());
+            }
+          }
+        }
+      } else {
+        default_case = sc;
+      }
+    }
+
+    const SourceManager& sm = *result.SourceManager;
+    if (default_case != nullptr) {
+      report_at(ctx_, sm, default_case->getBeginLoc(), "wire-enum-switch",
+                "switch over wire enum " + enum_name +
+                    " has a default: label — new wire values must be handled "
+                    "explicitly (docs/protocol.md freezes " + enum_name +
+                    "); validate the raw value before the switch and list "
+                    "every enumerator");
+    }
+    std::string missing;
+    for (const EnumConstantDecl* enumerator : decl->enumerators()) {
+      if (covered.count(enumerator->getNameAsString()) == 0) {
+        missing += (missing.empty() ? "" : ", ") + enumerator->getNameAsString();
+      }
+    }
+    if (!missing.empty() && !covered.empty()) {
+      report_at(ctx_, sm, stmt->getBeginLoc(), "wire-enum-switch",
+                "switch over wire enum " + enum_name + " does not handle: " +
+                    missing +
+                    " — every enumerator of a frozen wire enum must appear "
+                    "(docs/protocol.md)");
+    }
+  }
+
+ private:
+  Ctx ctx_;
+};
+
+}  // namespace
+
+bool run_ast_engine(const std::string& build_dir,
+                    const std::vector<FileUnit>& units, DiagnosticEngine& engine) {
+  std::string db_error;
+  std::unique_ptr<tooling::CompilationDatabase> db =
+      tooling::CompilationDatabase::loadFromDirectory(build_dir, db_error);
+  if (db == nullptr) return false;
+
+  // Only units the database knows how to compile (headers and standalone
+  // fixtures fall back to the token engine's verdicts — already reported).
+  std::vector<std::string> sources;
+  const std::set<std::string> known = [&] {
+    std::set<std::string> s;
+    for (const std::string& f : db->getAllFiles()) {
+      std::error_code ec;
+      s.insert(fs::weakly_canonical(f, ec).string());
+    }
+    return s;
+  }();
+  for (const FileUnit& unit : units) {
+    std::error_code ec;
+    const std::string canonical = fs::weakly_canonical(unit.fs_path, ec).string();
+    if (known.count(canonical) != 0) sources.push_back(canonical);
+  }
+  if (sources.empty()) return false;
+
+  UnitIndex index(units);
+  Ctx ctx{index, engine};
+
+  MatchFinder finder;
+
+  RawSyncCallback raw_sync(ctx);
+  finder.addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(namedDecl(hasAnyName(
+                  "::std::mutex", "::std::timed_mutex", "::std::recursive_mutex",
+                  "::std::recursive_timed_mutex", "::std::shared_mutex",
+                  "::std::shared_timed_mutex", "::std::condition_variable",
+                  "::std::condition_variable_any", "::std::lock_guard",
+                  "::std::unique_lock", "::std::shared_lock",
+                  "::std::scoped_lock"))))))
+          .bind("loc"),
+      &raw_sync);
+
+  // assert() expands to __assert_fail on glibc (__assert_rtn on Darwin);
+  // matching the expansion catches the macro regardless of NDEBUG spelling.
+  RawAssertCallback raw_assert(ctx);
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("__assert_fail", "__assert_rtn"))))
+          .bind("call"),
+      &raw_assert);
+
+  UnorderedIterationCallback unordered_iter(ctx);
+  finder.addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(hasType(qualType(hasUnqualifiedDesugaredType(
+              recordType(hasDeclaration(cxxRecordDecl(hasAnyName(
+                  "::std::unordered_map", "::std::unordered_set",
+                  "::std::unordered_multimap", "::std::unordered_multiset"))))))))))
+          .bind("loop"),
+      &unordered_iter);
+
+  NonatomicPersistCallback persist(ctx);
+  finder.addMatcher(
+      varDecl(hasType(qualType(hasUnqualifiedDesugaredType(recordType(
+                  hasDeclaration(cxxRecordDecl(hasName("::std::basic_ofstream"))))))))
+          .bind("ofstream"),
+      &persist);
+  finder.addMatcher(callExpr(callee(functionDecl(hasName("fopen")))).bind("fopen"),
+                    &persist);
+
+  WireEnumSwitchCallback wire_switch(ctx);
+  finder.addMatcher(
+      switchStmt(hasCondition(hasDescendant(declRefExpr(hasType(qualType(
+                     hasDeclaration(enumDecl(hasAnyName("Tag", "ErrorCode"))
+                                        .bind("enum"))))))))
+          .bind("switch"),
+      &wire_switch);
+
+  tooling::ClangTool tool(*db, sources);
+  return tool.run(tooling::newFrontendActionFactory(&finder).get()) == 0;
+}
+
+}  // namespace mighty::lint

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+/// \file check.hpp
+/// \brief The check registry contract: one class per enforced invariant.
+///
+/// A check sees the project twice.  `scan_all` runs once over every file in
+/// the invocation so cross-file facts (enum definitions, which identifiers
+/// are declared with unordered containers) exist before any file is judged;
+/// `run` then visits each file and reports through the Sink, which owns
+/// suppression matching and output formatting (diagnostics.hpp).  Checks are
+/// listed in docs/linting.md; adding one means adding a file under checks/,
+/// registering it in checks.cpp, and shipping a fail_/pass_ fixture pair
+/// under tests/lint_fixtures/.
+
+namespace mighty::lint {
+
+struct FileUnit {
+  std::string fs_path;  ///< on-disk path (what we read and what errors open)
+  std::string vpath;    ///< project-relative path used for scoping ('/'-separated)
+  std::string content;
+  std::vector<Token> tokens;                 ///< code tokens (no comments)
+  std::vector<Token> comments;               ///< comment tokens
+  std::vector<std::string> quoted_includes;  ///< #include "..." targets
+};
+
+class Sink {
+public:
+  virtual ~Sink() = default;
+  virtual void report(const FileUnit& unit, int line, int col,
+                      const std::string& check, const std::string& message) = 0;
+};
+
+class Check {
+public:
+  virtual ~Check() = default;
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  /// Pass 1: observe the whole file set (default: nothing to collect).
+  virtual void scan_all(const std::vector<FileUnit>& units) { (void)units; }
+  /// Pass 2: judge one file.
+  virtual void run(const FileUnit& unit, Sink& sink) const = 0;
+};
+
+/// All registered checks, in stable (documented) order.
+std::vector<std::unique_ptr<Check>> make_all_checks();
+
+/// True when `vpath` lives under `prefix` ("src/", "bench/", ...).
+inline bool vpath_in(const std::string& vpath, const std::string& prefix) {
+  return vpath.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace mighty::lint

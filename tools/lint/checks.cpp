@@ -1,0 +1,24 @@
+#include "check.hpp"
+
+/// Registry: the factories live in their check's own file; this is the one
+/// place that fixes the order (stable, documented in docs/linting.md).
+
+namespace mighty::lint {
+
+std::unique_ptr<Check> make_raw_sync_primitive_check();
+std::unique_ptr<Check> make_raw_assert_check();
+std::unique_ptr<Check> make_nondeterministic_iteration_check();
+std::unique_ptr<Check> make_nonatomic_persist_check();
+std::unique_ptr<Check> make_wire_enum_switch_check();
+
+std::vector<std::unique_ptr<Check>> make_all_checks() {
+  std::vector<std::unique_ptr<Check>> checks;
+  checks.push_back(make_raw_sync_primitive_check());
+  checks.push_back(make_raw_assert_check());
+  checks.push_back(make_nondeterministic_iteration_check());
+  checks.push_back(make_nonatomic_persist_check());
+  checks.push_back(make_wire_enum_switch_check());
+  return checks;
+}
+
+}  // namespace mighty::lint

@@ -1,0 +1,61 @@
+#include "../check.hpp"
+
+/// check: nonatomic-persist
+///
+/// Persistent artifacts (database, oracle cache, BLIF/JSON outputs) are
+/// written via util::write_file_atomically (src/util/atomic_file.hpp, PR 4):
+/// temp file + atomic rename, so a crash mid-write never leaves a truncated
+/// file and a concurrent reader never observes a half-written state.  A raw
+/// std::ofstream or fopen(...) write path silently reintroduces both
+/// failure modes.  Only src/util/atomic_file.cpp (the implementation) may
+/// open files for writing directly.
+
+namespace mighty::lint {
+
+namespace {
+
+class NonatomicPersistCheck final : public Check {
+public:
+  std::string name() const override { return "nonatomic-persist"; }
+  std::string description() const override {
+    return "file writes bypassing util::write_file_atomically "
+           "(crash leaves truncated artifacts)";
+  }
+
+  void run(const FileUnit& unit, Sink& sink) const override {
+    if (unit.vpath == "src/util/atomic_file.cpp") return;
+    const auto& tokens = unit.tokens;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].kind != Token::Kind::ident) continue;
+      // std::ofstream (construction or type use — an ofstream exists to
+      // write, so every use is a write path).
+      if (tokens[i].text == "std" && i + 2 < tokens.size() &&
+          tokens[i + 1].text == "::" && tokens[i + 2].text == "ofstream") {
+        sink.report(unit, tokens[i].line, tokens[i].col, name(),
+                    "std::ofstream bypasses util::write_file_atomically "
+                    "(src/util/atomic_file.hpp): a crash mid-write leaves a "
+                    "truncated file; write through the atomic helper");
+        continue;
+      }
+      // fopen / std::fopen calls (not members named fopen).
+      if (tokens[i].text == "fopen" && i + 1 < tokens.size() &&
+          tokens[i + 1].text == "(") {
+        if (i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->")) {
+          continue;
+        }
+        sink.report(unit, tokens[i].line, tokens[i].col, name(),
+                    "fopen() write paths bypass util::write_file_atomically "
+                    "(src/util/atomic_file.hpp); write through the atomic "
+                    "helper so readers never observe partial files");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_nonatomic_persist_check() {
+  return std::make_unique<NonatomicPersistCheck>();
+}
+
+}  // namespace mighty::lint

@@ -1,0 +1,48 @@
+#include "../check.hpp"
+
+/// check: raw-assert
+///
+/// `assert` vanishes under NDEBUG — exactly the build the benches and any
+/// production binary run — so an invariant guarded by it is only ever
+/// exercised in the Debug CI leg.  MIGHTY_ASSERT (src/util/assert.hpp, PR 6)
+/// stays armed in every build type and compiles out only under an explicit
+/// -DMIGHTY_UNCHECKED.  Scoped to src/: tests and fixtures may use whatever
+/// the test framework provides.
+
+namespace mighty::lint {
+
+namespace {
+
+class RawAssertCheck final : public Check {
+public:
+  std::string name() const override { return "raw-assert"; }
+  std::string description() const override {
+    return "assert() in src/ (use MIGHTY_ASSERT, which stays armed in Release)";
+  }
+
+  void run(const FileUnit& unit, Sink& sink) const override {
+    if (!vpath_in(unit.vpath, "src/")) return;
+    const auto& tokens = unit.tokens;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind != Token::Kind::ident || tokens[i].text != "assert") continue;
+      if (tokens[i + 1].text != "(") continue;
+      // `foo.assert(...)`, `Foo::assert(...)`: a member or qualified name,
+      // not the <cassert> macro.
+      if (i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->" ||
+                    tokens[i - 1].text == "::")) {
+        continue;
+      }
+      sink.report(unit, tokens[i].line, tokens[i].col, name(),
+                  "raw assert() compiles out under NDEBUG; use MIGHTY_ASSERT "
+                  "(src/util/assert.hpp), which stays armed in Release builds");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_raw_assert_check() {
+  return std::make_unique<RawAssertCheck>();
+}
+
+}  // namespace mighty::lint

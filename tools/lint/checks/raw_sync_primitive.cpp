@@ -1,0 +1,72 @@
+#include <set>
+
+#include "../check.hpp"
+
+/// check: raw-sync-primitive
+///
+/// All synchronization goes through the capability-annotated util::Mutex
+/// layer (src/util/mutex.hpp, PR 9): util::Mutex/SharedMutex/CondVar carry
+/// Clang thread-safety capabilities and a LockRank for the Debug lock-order
+/// checker.  A raw std::mutex is invisible to both gates — the analysis
+/// cannot prove anything about data it guards, and an inversion against a
+/// ranked lock is never caught.  Only src/util/mutex.* may name the raw
+/// types (it wraps them).
+
+namespace mighty::lint {
+
+namespace {
+
+const std::set<std::string>& raw_sync_types() {
+  static const std::set<std::string> types = {
+      "mutex",
+      "timed_mutex",
+      "recursive_mutex",
+      "recursive_timed_mutex",
+      "shared_mutex",
+      "shared_timed_mutex",
+      "condition_variable",
+      "condition_variable_any",
+      "lock_guard",
+      "unique_lock",
+      "shared_lock",
+      "scoped_lock",
+  };
+  return types;
+}
+
+class RawSyncPrimitiveCheck final : public Check {
+public:
+  std::string name() const override { return "raw-sync-primitive"; }
+  std::string description() const override {
+    return "std:: synchronization primitives outside src/util/mutex.* "
+           "(use the capability-annotated util::Mutex layer)";
+  }
+
+  void run(const FileUnit& unit, Sink& sink) const override {
+    if (unit.vpath == "src/util/mutex.hpp" || unit.vpath == "src/util/mutex.cpp") {
+      return;
+    }
+    const auto& tokens = unit.tokens;
+    for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (tokens[i].kind != Token::Kind::ident || tokens[i].text != "std") continue;
+      if (tokens[i + 1].text != "::") continue;
+      const Token& type = tokens[i + 2];
+      if (type.kind != Token::Kind::ident || raw_sync_types().count(type.text) == 0) {
+        continue;
+      }
+      sink.report(unit, tokens[i].line, tokens[i].col, name(),
+                  "raw std::" + type.text +
+                      " outside src/util/mutex.*: use the util::Mutex layer "
+                      "(src/util/mutex.hpp) so -Wthread-safety capabilities and "
+                      "the Debug lock-order checker apply");
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_raw_sync_primitive_check() {
+  return std::make_unique<RawSyncPrimitiveCheck>();
+}
+
+}  // namespace mighty::lint

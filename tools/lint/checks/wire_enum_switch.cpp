@@ -1,0 +1,205 @@
+#include <map>
+#include <set>
+
+#include "../check.hpp"
+
+/// check: wire-enum-switch
+///
+/// The wire enums — serve::Tag (frame tags) and api::ErrorCode — are frozen
+/// by docs/protocol.md: values are append-only and every consumer must take
+/// an explicit position on every value.  A `default:` label in a switch over
+/// a wire enum silently swallows newly appended values (a new frame tag
+/// would fall into whatever the default happens to do), and a switch missing
+/// enumerators compiles clean while ignoring real wire traffic.  Handle the
+/// out-of-enum raw byte BEFORE the switch (serve::is_known_tag), then switch
+/// exhaustively with no default so -Wswitch also flags new values at the
+/// compiler level.
+///
+/// Watched enums are matched by name wherever they are defined in the
+/// scanned set (the names are reserved project-wide); their enumerator lists
+/// come from the definitions found in pass 1.
+
+namespace mighty::lint {
+
+namespace {
+
+const std::set<std::string>& watched_enums() {
+  static const std::set<std::string> names = {"Tag", "ErrorCode"};
+  return names;
+}
+
+class WireEnumSwitchCheck final : public Check {
+public:
+  std::string name() const override { return "wire-enum-switch"; }
+  std::string description() const override {
+    return "switch over a frozen wire enum (serve::Tag, api::ErrorCode) with "
+           "a default: label or missing enumerators";
+  }
+
+  void scan_all(const std::vector<FileUnit>& units) override {
+    enumerators_.clear();
+    for (const FileUnit& unit : units) collect_enums(unit);
+  }
+
+  void run(const FileUnit& unit, Sink& sink) const override {
+    const auto& tokens = unit.tokens;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind != Token::Kind::ident || tokens[i].text != "switch") continue;
+      if (tokens[i + 1].text != "(") continue;
+      inspect_switch(unit, i, sink);
+    }
+  }
+
+private:
+  void collect_enums(const FileUnit& unit) {
+    const auto& tokens = unit.tokens;
+    for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (tokens[i].kind != Token::Kind::ident || tokens[i].text != "enum") continue;
+      size_t j = i + 1;
+      if (tokens[j].text == "class" || tokens[j].text == "struct") ++j;
+      if (j >= tokens.size() || tokens[j].kind != Token::Kind::ident) continue;
+      const std::string enum_name = tokens[j].text;
+      if (watched_enums().count(enum_name) == 0) continue;
+      // Skip an optional `: underlying_type` to the '{' (stop at ';' — that
+      // would be a forward declaration with no enumerator list).
+      while (j < tokens.size() && tokens[j].text != "{" && tokens[j].text != ";") ++j;
+      if (j >= tokens.size() || tokens[j].text != "{") continue;
+      // Enumerators: the first identifier of each comma-separated segment.
+      int paren_depth = 0;
+      bool at_segment_start = true;
+      for (++j; j < tokens.size(); ++j) {
+        const Token& t = tokens[j];
+        if (t.kind == Token::Kind::punct) {
+          if (t.text == "(") ++paren_depth;
+          else if (t.text == ")") --paren_depth;
+          else if (t.text == "," && paren_depth == 0) at_segment_start = true;
+          else if (t.text == "}" && paren_depth == 0) break;
+          continue;
+        }
+        if (at_segment_start && t.kind == Token::Kind::ident) {
+          enumerators_[enum_name].insert(t.text);
+        }
+        at_segment_start = false;
+      }
+    }
+  }
+
+  struct SwitchScan {
+    bool has_default = false;
+    int default_line = 0;
+    int default_col = 0;
+    std::map<std::string, std::set<std::string>> cases;  ///< enum -> enumerators
+  };
+
+  /// Scans the body starting at tokens[i] == '{'; returns the index of the
+  /// matching '}'.  Nested switches are scanned recursively and their labels
+  /// kept out of `out`.
+  size_t scan_body(const std::vector<Token>& tokens, size_t i, SwitchScan& out) const {
+    int depth = 0;
+    for (; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind == Token::Kind::punct) {
+        if (t.text == "{") ++depth;
+        else if (t.text == "}") {
+          if (--depth == 0) return i;
+        }
+        continue;
+      }
+      if (t.kind != Token::Kind::ident) continue;
+      if (t.text == "switch" && i + 1 < tokens.size() && tokens[i + 1].text == "(") {
+        // Nested switch: skip to its body and swallow it with a scratch scan.
+        size_t j = i + 1;
+        int pd = 0;
+        for (; j < tokens.size(); ++j) {
+          if (tokens[j].text == "(") ++pd;
+          else if (tokens[j].text == ")" && --pd == 0) break;
+        }
+        while (j < tokens.size() && tokens[j].text != "{") ++j;
+        if (j >= tokens.size()) return tokens.size();
+        SwitchScan scratch;
+        i = scan_body(tokens, j, scratch);
+        continue;
+      }
+      if (t.text == "default" && i + 1 < tokens.size() && tokens[i + 1].text == ":") {
+        out.has_default = true;
+        out.default_line = t.line;
+        out.default_col = t.col;
+        continue;
+      }
+      if (t.text == "case") {
+        // Collect `Enum::enumerator` pairs up to the label's ':'.
+        for (size_t j = i + 1; j + 2 < tokens.size(); ++j) {
+          if (tokens[j].kind == Token::Kind::punct && tokens[j].text == ":") break;
+          if (tokens[j].kind == Token::Kind::ident && tokens[j + 1].text == "::" &&
+              tokens[j + 2].kind == Token::Kind::ident &&
+              watched_enums().count(tokens[j].text) != 0) {
+            out.cases[tokens[j].text].insert(tokens[j + 2].text);
+          }
+        }
+      }
+    }
+    return tokens.size();
+  }
+
+  void inspect_switch(const FileUnit& unit, size_t switch_idx, Sink& sink) const {
+    const auto& tokens = unit.tokens;
+    // Condition tokens (watched enum named in the condition also marks the
+    // switch, e.g. `switch (static_cast<Tag>(raw))` with zero cases yet).
+    size_t j = switch_idx + 1;
+    int pd = 0;
+    std::set<std::string> cond_enums;
+    for (; j < tokens.size(); ++j) {
+      if (tokens[j].text == "(") ++pd;
+      else if (tokens[j].text == ")") {
+        if (--pd == 0) break;
+      } else if (tokens[j].kind == Token::Kind::ident &&
+                 watched_enums().count(tokens[j].text) != 0) {
+        cond_enums.insert(tokens[j].text);
+      }
+    }
+    while (j < tokens.size() && tokens[j].text != "{") ++j;
+    if (j >= tokens.size()) return;
+
+    SwitchScan scan;
+    scan_body(tokens, j, scan);
+    std::set<std::string> involved = cond_enums;
+    for (const auto& [e, cases] : scan.cases) involved.insert(e);
+    if (involved.empty()) return;
+
+    for (const std::string& e : involved) {
+      if (scan.has_default) {
+        sink.report(unit, scan.default_line, scan.default_col, name(),
+                    "switch over wire enum " + e +
+                        " has a default: label — new wire values must be "
+                        "handled explicitly (docs/protocol.md freezes " + e +
+                        "); validate the raw value before the switch and list "
+                        "every enumerator");
+      }
+      const auto def = enumerators_.find(e);
+      if (def == enumerators_.end()) continue;
+      std::string missing;
+      for (const std::string& enumerator : def->second) {
+        const auto c = scan.cases.find(e);
+        if (c == scan.cases.end() || c->second.count(enumerator) == 0) {
+          missing += (missing.empty() ? "" : ", ") + enumerator;
+        }
+      }
+      if (!missing.empty() && !scan.cases.empty()) {
+        sink.report(unit, tokens[switch_idx].line, tokens[switch_idx].col, name(),
+                    "switch over wire enum " + e + " does not handle: " + missing +
+                        " — every enumerator of a frozen wire enum must appear "
+                        "(docs/protocol.md)");
+      }
+    }
+  }
+
+  std::map<std::string, std::set<std::string>> enumerators_;
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_wire_enum_switch_check() {
+  return std::make_unique<WireEnumSwitchCheck>();
+}
+
+}  // namespace mighty::lint

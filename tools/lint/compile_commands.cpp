@@ -1,0 +1,84 @@
+#include "compile_commands.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mighty::lint {
+
+namespace {
+
+/// Parses one JSON string starting at s[i] == '"'; returns the decoded value
+/// and leaves i past the closing quote.  Only the escapes CMake emits are
+/// decoded; unknown escapes keep the literal character.
+std::string parse_json_string(const std::string& s, size_t& i) {
+  std::string out;
+  ++i;  // opening quote
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u':
+          // Paths with non-ASCII escapes are passed through undecoded; the
+          // file simply will not match any walked path.
+          out.push_back('?');
+          i += 4 < s.size() - i ? 4 : 0;
+          break;
+        default: out.push_back(s[i]); break;
+      }
+      ++i;
+    } else {
+      out.push_back(s[i]);
+      ++i;
+    }
+  }
+  if (i < s.size()) ++i;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> compile_commands_files(const std::string& build_dir) {
+  const std::string path = build_dir + "/compile_commands.json";
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot read " + path +
+                             " (configure with CMAKE_EXPORT_COMPILE_COMMANDS ON)");
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+
+  // Walk string-by-string: a string immediately followed (modulo whitespace)
+  // by ':' is a key; the value of a "file" key is recorded.
+  std::vector<std::string> files;
+  std::string pending_key;
+  bool value_is_file = false;
+  for (size_t i = 0; i < text.size();) {
+    const char c = text[i];
+    if (c == '"') {
+      std::string s = parse_json_string(text, i);
+      size_t j = i;
+      while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+      if (j < text.size() && text[j] == ':') {
+        pending_key = s;
+        value_is_file = pending_key == "file";
+      } else {
+        if (value_is_file) files.push_back(s);
+        value_is_file = false;
+      }
+    } else {
+      // Any structural character ends a pending key/value pairing.
+      if (c == '{' || c == '}' || c == '[' || c == ']' || c == ',') value_is_file = false;
+      ++i;
+    }
+  }
+  return files;
+}
+
+}  // namespace mighty::lint

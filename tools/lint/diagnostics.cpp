@@ -1,0 +1,107 @@
+#include "diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mighty::lint {
+
+namespace {
+
+constexpr const char* kMarker = "mighty-lint:";
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return std::string();
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+void DiagnosticEngine::register_file(const FileUnit& unit) {
+  // Lines that carry code, so a standalone allow-comment can find the line
+  // it governs (the next code line below it).
+  std::set<int> code_lines;
+  for (const Token& t : unit.tokens) code_lines.insert(t.line);
+
+  FileSuppressions& file = suppressions_[unit.vpath];
+  for (const Token& comment : unit.comments) {
+    const std::string text = trim(comment.text);
+    if (text.compare(0, std::char_traits<char>::length(kMarker), kMarker) != 0) {
+      continue;
+    }
+    auto bad = [&](const std::string& why) {
+      diagnostics_.push_back({unit.vpath, comment.line, comment.col, "allow",
+                              why + " — expected `mighty-lint: allow(<check>): <reason>`"});
+    };
+    std::string rest = trim(text.substr(std::char_traits<char>::length(kMarker)));
+    if (rest.compare(0, 6, "allow(") != 0) {
+      bad("malformed mighty-lint comment");
+      continue;
+    }
+    const auto close = rest.find(')');
+    if (close == std::string::npos) {
+      bad("unterminated allow(...)");
+      continue;
+    }
+    Allow allow;
+    allow.check = trim(rest.substr(6, close - 6));
+    if (allow.check == "allow" || known_checks_.count(allow.check) == 0) {
+      bad("unknown check '" + allow.check + "' in allow(...)");
+      continue;
+    }
+    std::string tail = trim(rest.substr(close + 1));
+    if (tail.empty() || tail[0] != ':' || trim(tail.substr(1)).empty()) {
+      bad("suppression of '" + allow.check + "' requires a reason");
+      continue;
+    }
+    allow.reason = trim(tail.substr(1));
+    allow.comment_line = comment.line;
+    if (code_lines.count(comment.line) != 0) {
+      allow.target_line = comment.line;  // trailing comment
+    } else {
+      const auto next = code_lines.upper_bound(comment.line);
+      allow.target_line = next == code_lines.end() ? -1 : *next;
+    }
+    file.allows.push_back(allow);
+  }
+}
+
+void DiagnosticEngine::report(const FileUnit& unit, int line, int col,
+                              const std::string& check, const std::string& message) {
+  auto it = suppressions_.find(unit.vpath);
+  if (it != suppressions_.end()) {
+    for (Allow& allow : it->second.allows) {
+      if (allow.check == check && allow.target_line == line) {
+        allow.used = true;
+        ++suppressed_;
+        return;
+      }
+    }
+  }
+  diagnostics_.push_back({unit.vpath, line, col, check, message});
+}
+
+void DiagnosticEngine::flag_unused_allows() {
+  for (const auto& [vpath, file] : suppressions_) {
+    for (const Allow& allow : file.allows) {
+      if (allow.used) continue;
+      diagnostics_.push_back(
+          {vpath, allow.comment_line, 1, "allow",
+           "stale suppression: allow(" + allow.check +
+               ") matched no diagnostic — remove it (or fix the drifted code "
+               "it used to cover)"});
+    }
+  }
+}
+
+size_t DiagnosticEngine::flush(std::FILE* out) {
+  std::sort(diagnostics_.begin(), diagnostics_.end());
+  for (const Diagnostic& d : diagnostics_) {
+    std::fprintf(out, "%s:%d:%d: error: %s [%s]\n", d.vpath.c_str(), d.line, d.col,
+                 d.message.c_str(), d.check.c_str());
+  }
+  return diagnostics_.size();
+}
+
+}  // namespace mighty::lint
